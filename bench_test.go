@@ -1,0 +1,248 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§5) at
+// bench-friendly scales, plus the ablations called out in DESIGN.md. The
+// cmd/experiments tool runs the same code at larger (or, with -full, the
+// paper's exact) sizes and prints the series; these benches track the cost
+// of each experiment and guard against performance regressions.
+//
+// Mapping:
+//
+//	BenchmarkFig2a..f   histogram error% sweeps, all methods (Figure 2)
+//	BenchmarkFig3a      DP scaling in n at fixed B (Figure 3a)
+//	BenchmarkFig3b      DP scaling in B at fixed n (Figure 3b)
+//	BenchmarkFig4a/b    wavelet error% sweeps (Figure 4)
+//	BenchmarkAblate*    exact-vs-closed-form tuple SSE; exact-vs-approx DP
+package probsyn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"probsyn/internal/eval"
+	"probsyn/internal/gen"
+	"probsyn/internal/hist"
+	"probsyn/internal/metric"
+	"probsyn/internal/pdata"
+	"probsyn/internal/wavelet"
+)
+
+const benchN = 512
+
+func benchLinkage(n int) *pdata.Basic {
+	return gen.MystiQLinkage(rand.New(rand.NewSource(42)), gen.DefaultMystiQ(n))
+}
+
+func benchTPCH(n int) *pdata.TuplePDF {
+	return gen.TPCHLineitem(rand.New(rand.NewSource(42)), gen.DefaultTPCH(n, 4*n))
+}
+
+func benchFig2(b *testing.B, k metric.Kind, c float64) {
+	b.Helper()
+	src := benchLinkage(benchN)
+	budgets := []int{1, 8, 16, 32, 52}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp := &eval.HistogramExperiment{
+			Source: src, Metric: k, Params: metric.Params{C: c},
+			Budgets: budgets, Samples: 1, Rng: rand.New(rand.NewSource(1)),
+		}
+		if _, err := exp.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2a_SSRE_c05(b *testing.B) { benchFig2(b, metric.SSRE, 0.5) }
+func BenchmarkFig2b_SSRE_c10(b *testing.B) { benchFig2(b, metric.SSRE, 1.0) }
+func BenchmarkFig2c_SSE(b *testing.B)      { benchFig2(b, metric.SSE, 0) }
+func BenchmarkFig2d_SARE_c05(b *testing.B) { benchFig2(b, metric.SARE, 0.5) }
+func BenchmarkFig2e_SARE_c10(b *testing.B) { benchFig2(b, metric.SARE, 1.0) }
+func BenchmarkFig2f_SAE(b *testing.B)      { benchFig2(b, metric.SAE, 0) }
+
+// BenchmarkFig3a: DP time as n grows, fixed B (the paper reports ~quadratic
+// growth in n; compare ns/op across sub-benchmarks).
+func BenchmarkFig3a(b *testing.B) {
+	for _, n := range []int{256, 512, 1024, 2048} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := benchLinkage(n)
+			o, err := hist.NewOracle(src, metric.SSRE, metric.Params{C: 0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := hist.Optimal(o, 50); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3b: DP time as B grows, fixed n (the paper reports linear
+// growth in B).
+func BenchmarkFig3b(b *testing.B) {
+	src := benchLinkage(1024)
+	o, err := hist.NewOracle(src, metric.SSRE, metric.Params{C: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, B := range []int{25, 50, 100, 200} {
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hist.Optimal(o, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchFig4(b *testing.B, src pdata.Source, bmax int) {
+	b.Helper()
+	budgets := []int{1, bmax / 8, bmax / 4, bmax / 2, bmax}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp := &eval.WaveletExperiment{
+			Source: src, Budgets: budgets, Samples: 1,
+			Rng: rand.New(rand.NewSource(1)),
+		}
+		if _, err := exp.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4a_WaveletMovie(b *testing.B)     { benchFig4(b, benchLinkage(4096), 640) }
+func BenchmarkFig4b_WaveletSynthetic(b *testing.B) { benchFig4(b, benchTPCH(4096), 128) }
+
+// --- ablations ----------------------------------------------------------------
+
+// Exact straddle-corrected tuple-pdf SSE DP vs the paper's closed form
+// (DESIGN.md finding 3): the closed form skips the per-boundary correction.
+func BenchmarkAblateTupleSSEExact(b *testing.B) {
+	cfg := gen.DefaultTPCH(benchN, 4*benchN)
+	cfg.Spread = 8
+	src := gen.TPCHLineitem(rand.New(rand.NewSource(42)), cfg)
+	o := hist.NewSSETuple(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hist.Optimal(o, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateTupleSSEClosedForm(b *testing.B) {
+	cfg := gen.DefaultTPCH(benchN, 4*benchN)
+	cfg.Spread = 8
+	src := gen.TPCHLineitem(rand.New(rand.NewSource(42)), cfg)
+	o := hist.NewSSETupleClosedForm(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hist.Optimal(o, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Exact DP vs the (1+eps)-approximate DP of Theorem 5, in the B << n
+// regime where the approximation's compressed levels pay off (see
+// EXPERIMENTS.md: at B ~ n/10 the exact DP is already as fast).
+func BenchmarkAblateExactDP(b *testing.B) {
+	src := benchLinkage(4096)
+	o, err := hist.NewOracle(src, metric.SSE, metric.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hist.Optimal(o, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateApproxDP(b *testing.B) {
+	src := benchLinkage(4096)
+	o, err := hist.NewOracle(src, metric.SSE, metric.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hist.Approximate(o, 16, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Restricted non-SSE wavelet DP (Theorem 8) vs the greedy SSE synopsis
+// (Theorem 7) at equal budget — the cost of optimizing a non-SSE metric.
+func BenchmarkWaveletGreedySSE(b *testing.B) {
+	src := benchLinkage(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wavelet.BuildSSE(src, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaveletRestrictedSAE(b *testing.B) {
+	src := benchLinkage(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wavelet.BuildRestricted(src, metric.SAE, metric.Params{C: 0.5}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- oracle micro-benchmarks (per-bucket pricing cost, Theorems 1-4, 6) -------
+
+func BenchmarkOracleCost(b *testing.B) {
+	src := benchLinkage(2048)
+	p := metric.Params{C: 0.5}
+	for _, k := range []metric.Kind{metric.SSE, metric.SSEFixed, metric.SSRE,
+		metric.SAE, metric.SARE, metric.MAE, metric.MARE} {
+		b.Run(k.String(), func(b *testing.B) {
+			o, err := hist.NewOracle(src, k, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := rng.Intn(2048)
+				e := s + rng.Intn(2048-s)
+				if k == metric.MAE || k == metric.MARE {
+					// max oracles are O(bucket width); keep widths modest
+					if e > s+64 {
+						e = s + 64
+					}
+				}
+				o.Cost(s, e)
+			}
+		})
+	}
+}
+
+func BenchmarkMonteCarloEvaluation(b *testing.B) {
+	src := benchLinkage(1024)
+	o, err := hist.NewOracle(src, metric.SAE, metric.Params{C: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := hist.Optimal(o, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.MonteCarloHistogramError(src, h, metric.SAE, metric.Params{C: 0.5}, 100, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

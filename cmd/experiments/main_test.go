@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestBudgetsSpread(t *testing.T) {
+	bs := budgets(100, 5)
+	if bs[0] != 1 {
+		t.Fatalf("first budget %d, want 1", bs[0])
+	}
+	if bs[len(bs)-1] != 100 {
+		t.Fatalf("last budget %d, want 100", bs[len(bs)-1])
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			t.Fatalf("budgets not strictly increasing: %v", bs)
+		}
+	}
+}
+
+func TestBudgetsDegenerate(t *testing.T) {
+	bs := budgets(1, 5)
+	if len(bs) != 1 || bs[0] != 1 {
+		t.Fatalf("budgets(1,5) = %v, want [1]", bs)
+	}
+	bs = budgets(10, 1) // fewer than 2 points requested
+	if bs[len(bs)-1] != 10 {
+		t.Fatalf("budgets(10,1) = %v, want to end at 10", bs)
+	}
+}
+
+func TestBudgetsNoDuplicatesWhenDense(t *testing.T) {
+	bs := budgets(4, 10) // more points than distinct budgets
+	seen := map[int]bool{}
+	for _, b := range bs {
+		if seen[b] {
+			t.Fatalf("duplicate budget in %v", bs)
+		}
+		seen[b] = true
+	}
+}

@@ -1,0 +1,110 @@
+// Command psyn builds histogram and wavelet synopses from a probabilistic
+// dataset file (probsyn text format; see cmd/datagen to create one).
+//
+// Examples:
+//
+//	psyn -input data.pd -metric SSE -buckets 20
+//	psyn -input data.pd -metric SARE -c 1.0 -buckets 50 -approx 0.25
+//	psyn -input data.pd -wavelet -coeffs 32
+//	psyn -input data.pd -wavelet -metric SAE -coeffs 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probsyn"
+)
+
+var (
+	flagInput   = flag.String("input", "", "dataset file (required)")
+	flagMetric  = flag.String("metric", "SSE", "error metric: SSE, SSE-fixed, SSRE, SAE, SARE, MAE, MARE")
+	flagC       = flag.Float64("c", 0.5, "sanity constant for relative-error metrics")
+	flagBuckets = flag.Int("buckets", 16, "histogram bucket budget")
+	flagApprox  = flag.Float64("approx", 0, "if > 0, build a (1+eps)-approximate histogram with this eps")
+	flagEqui    = flag.Bool("equidepth", false, "build the equi-depth heuristic instead of the optimal histogram")
+	flagWavelet = flag.Bool("wavelet", false, "build a wavelet synopsis instead of a histogram")
+	flagCoeffs  = flag.Int("coeffs", 16, "wavelet coefficient budget")
+)
+
+func main() {
+	flag.Parse()
+	if *flagInput == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*flagInput)
+	fatal(err)
+	defer f.Close()
+	src, err := probsyn.ReadDataset(f)
+	fatal(err)
+
+	m, err := probsyn.ParseMetric(*flagMetric)
+	fatal(err)
+	p := probsyn.Params{C: *flagC}
+
+	if *flagWavelet {
+		buildWavelet(src, m, p)
+		return
+	}
+	buildHistogram(src, m, p)
+}
+
+func buildHistogram(src probsyn.Source, m probsyn.Metric, p probsyn.Params) {
+	var (
+		h   *probsyn.Histogram
+		err error
+		how string
+	)
+	switch {
+	case *flagEqui:
+		h, err = probsyn.EquiDepthHistogram(src, m, p, *flagBuckets)
+		how = "equi-depth"
+	case *flagApprox > 0:
+		h, err = probsyn.ApproxHistogram(src, m, p, *flagBuckets, *flagApprox)
+		how = fmt.Sprintf("(1+%g)-approximate", *flagApprox)
+	default:
+		h, err = probsyn.OptimalHistogram(src, m, p, *flagBuckets)
+		how = "optimal"
+	}
+	fatal(err)
+	fmt.Printf("%s %v histogram over n=%d (m=%d pairs): %d buckets, expected error %.6g\n",
+		how, m, src.Domain(), src.M(), h.B(), h.Cost)
+	fmt.Println("start,end,width,representative,bucket_cost")
+	for _, b := range h.Buckets {
+		fmt.Printf("%d,%d,%d,%.6g,%.6g\n", b.Start, b.End, b.Width(), b.Rep, b.Cost)
+	}
+}
+
+func buildWavelet(src probsyn.Source, m probsyn.Metric, p probsyn.Params) {
+	if m == probsyn.SSE || m == probsyn.SSEFixed {
+		syn, rep, err := probsyn.SSEWavelet(src, *flagCoeffs)
+		fatal(err)
+		fmt.Printf("SSE-optimal wavelet synopsis over n=%d (padded %d): %d coefficients\n",
+			src.Domain(), syn.N, syn.B())
+		fmt.Printf("expected SSE %.6g (irreducible variance %.6g, dropped energy %.6g = %.2f%%)\n",
+			rep.ExpectedSSE, rep.VarianceFloor, rep.DroppedMuSq(), rep.ErrorPercent())
+		printCoeffs(syn)
+		return
+	}
+	syn, cost, err := probsyn.RestrictedWavelet(src, m, p, *flagCoeffs)
+	fatal(err)
+	fmt.Printf("restricted %v wavelet synopsis over n=%d (padded %d): %d coefficients, expected error %.6g\n",
+		m, src.Domain(), syn.N, syn.B(), cost)
+	printCoeffs(syn)
+}
+
+func printCoeffs(syn *probsyn.WaveletSynopsis) {
+	fmt.Println("index,value")
+	for k, idx := range syn.Indices {
+		fmt.Printf("%d,%.6g\n", idx, syn.Values[k])
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psyn:", err)
+		os.Exit(1)
+	}
+}

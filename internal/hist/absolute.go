@@ -1,0 +1,101 @@
+package hist
+
+import (
+	"fmt"
+
+	"probsyn/internal/metric"
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// WeightedAbs is the shared oracle for the weighted-absolute-error metrics
+// SAE and SARE (§3.3–3.4, Theorems 3–4). With per-item, per-value weights
+// w_{i,j} = Pr[g_i = v_j]·mw(v_j) (mw = 1 for SAE, 1/max(c,v) for SARE),
+// the bucket cost at representative t is
+//
+//	Σ_{i∈b} Σ_j w_{i,j}·|v_j − t|
+//	  = t·(2·W≤(t) − W) − 2·S≤(t) + S,
+//
+// where W≤/S≤ cumulate weights and weight·value up to t and W/S are their
+// totals. The optimum lies at some v_ℓ ∈ V (the paper's argument: the cost
+// is piecewise linear in t with breakpoints at V, and the successive
+// grid differences change sign once), found by binary search on the sign
+// of the forward difference (DESIGN.md finding 4). Precomputation stores,
+// for every ℓ, item-prefix sums of W≤ and S≤: O(|V|·n) space, O(log|V|)
+// per bucket query.
+type WeightedAbs struct {
+	kind metric.Kind
+	n    int
+	vs   pdata.ValueSet
+	// pw[ℓ*(n+1)+i+1] = Σ_{i'<=i} W≤(i', ℓ); ps likewise for S≤.
+	pw, ps []float64
+	// tw, ts: item-prefix sums of the per-item totals.
+	tw, ts numeric.Prefix
+}
+
+// NewWeightedAbs builds the oracle from a dense pmf table; kind must be
+// metric.SAE or metric.SARE.
+func NewWeightedAbs(tab *pdata.PMFTable, kind metric.Kind, p metric.Params) (*WeightedAbs, error) {
+	if kind != metric.SAE && kind != metric.SARE {
+		return nil, fmt.Errorf("hist: WeightedAbs supports SAE/SARE, got %v", kind)
+	}
+	n, k := tab.N(), tab.VS.Len()
+	o := &WeightedAbs{
+		kind: kind,
+		n:    n,
+		vs:   tab.VS,
+		pw:   make([]float64, k*(n+1)),
+		ps:   make([]float64, k*(n+1)),
+	}
+	totW := make([]float64, n)
+	totS := make([]float64, n)
+	mw := make([]float64, k)
+	for j := 0; j < k; j++ {
+		mw[j] = kind.Weight(tab.VS.Values[j], p)
+	}
+	for i := 0; i < n; i++ {
+		var cw, cs float64
+		for j := 0; j < k; j++ {
+			w := tab.P[i][j] * mw[j]
+			cw += w
+			cs += w * tab.VS.Values[j]
+			base := j * (n + 1)
+			o.pw[base+i+1] = o.pw[base+i] + cw
+			o.ps[base+i+1] = o.ps[base+i] + cs
+		}
+		totW[i], totS[i] = cw, cs
+	}
+	o.tw = numeric.NewPrefix(totW)
+	o.ts = numeric.NewPrefix(totS)
+	return o, nil
+}
+
+// N returns the domain size.
+func (o *WeightedAbs) N() int { return o.n }
+
+// Combine returns Sum.
+func (o *WeightedAbs) Combine() Combine { return Sum }
+
+// Kind returns the metric (SAE or SARE) the oracle prices.
+func (o *WeightedAbs) Kind() metric.Kind { return o.kind }
+
+// CostAt prices bucket [s, e] with the representative pinned to V[ℓ].
+func (o *WeightedAbs) CostAt(l, s, e int) float64 {
+	base := l * (o.n + 1)
+	wle := o.pw[base+e+1] - o.pw[base+s]
+	sle := o.ps[base+e+1] - o.ps[base+s]
+	v := o.vs.Values[l]
+	cost := v*(2*wle-o.tw.Range(s, e)) + o.ts.Range(s, e) - 2*sle
+	if cost < 0 {
+		cost = 0
+	}
+	return cost
+}
+
+// Cost prices bucket [s, e], optimizing the representative over V.
+func (o *WeightedAbs) Cost(s, e int) (float64, float64) {
+	l, c := numeric.MinConvexGrid(0, o.vs.Len()-1, func(l int) float64 {
+		return o.CostAt(l, s, e)
+	})
+	return c, o.vs.Values[l]
+}

@@ -1,0 +1,143 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimal computes the error-optimal B-bucket histogram for the oracle's
+// metric by the dynamic program of Eq. (2):
+//
+//	OPT[j,b] = min_{i<j} h(OPT[i,b-1], BERR(i+1, j))
+//
+// with h = + for cumulative metrics and h = max for maximum-error metrics
+// (the principle of optimality holds in both cases over probabilistic data,
+// §3). Runtime is O(B n^2) bucket-cost evaluations on top of the oracle's
+// precomputation; memory is O(B n) for backtracking.
+//
+// If B >= n the histogram degenerates to one bucket per item.
+func Optimal(o Oracle, B int) (*Histogram, error) {
+	t, err := RunDP(o, B)
+	if err != nil {
+		return nil, err
+	}
+	return t.Histogram(B)
+}
+
+// DPTable holds a completed histogram dynamic program for every budget up
+// to Bmax, so a whole budget sweep (as in the paper's Figure 2) costs one
+// DP run instead of one per budget.
+type DPTable struct {
+	oracle Oracle
+	n      int
+	bmax   int
+	opt    [][]float64
+	choice [][]int32
+}
+
+// RunDP executes the dynamic program of Eq. (2) up to budget Bmax.
+func RunDP(o Oracle, Bmax int) (*DPTable, error) {
+	n := o.N()
+	if n <= 0 {
+		return nil, fmt.Errorf("hist: empty domain")
+	}
+	if Bmax <= 0 {
+		return nil, fmt.Errorf("hist: bucket budget %d, want >= 1", Bmax)
+	}
+	if Bmax > n {
+		Bmax = n
+	}
+	t := &DPTable{oracle: o, n: n, bmax: Bmax}
+
+	// opt[b][j]: optimal error of a (b+1)-bucket histogram over prefix
+	// [0..j]; choice[b][j]: last bucket is [choice+1 .. j].
+	t.opt = make([][]float64, Bmax)
+	t.choice = make([][]int32, Bmax)
+	for b := range t.opt {
+		t.opt[b] = make([]float64, n)
+		t.choice[b] = make([]int32, n)
+	}
+	costs := make([]float64, n)
+	reps := make([]float64, n)
+
+	for e := 0; e < n; e++ {
+		costsForEnd(o, e, costs, reps)
+		t.opt[0][e] = costs[0]
+		t.choice[0][e] = -1
+		top := Bmax
+		if e+1 < top {
+			top = e + 1
+		}
+		for b := 1; b < top; b++ {
+			best := math.Inf(1)
+			bestI := int32(b - 1)
+			prev := t.opt[b-1]
+			if o.Combine() == Sum {
+				for i := b - 1; i < e; i++ {
+					if v := prev[i] + costs[i+1]; v < best {
+						best, bestI = v, int32(i)
+					}
+				}
+			} else {
+				for i := b - 1; i < e; i++ {
+					v := prev[i]
+					if c := costs[i+1]; c > v {
+						v = c
+					}
+					if v < best {
+						best, bestI = v, int32(i)
+					}
+				}
+			}
+			t.opt[b][e] = best
+			t.choice[b][e] = bestI
+		}
+	}
+	return t, nil
+}
+
+// Bmax returns the largest budget the table covers.
+func (t *DPTable) Bmax() int { return t.bmax }
+
+// Cost returns the optimal B-bucket error (B clamped to [1, Bmax]).
+func (t *DPTable) Cost(B int) float64 {
+	if B > t.bmax {
+		B = t.bmax
+	}
+	return t.opt[B-1][t.n-1]
+}
+
+// Boundaries returns the optimal B-bucket start positions.
+func (t *DPTable) Boundaries(B int) []int {
+	if B > t.bmax {
+		B = t.bmax
+	}
+	starts := make([]int, 0, B)
+	b, j := B-1, t.n-1
+	for b >= 0 {
+		i := int(t.choice[b][j])
+		starts = append(starts, i+1)
+		j, b = i, b-1
+	}
+	for l, r := 0, len(starts)-1; l < r; l, r = l+1, r-1 {
+		starts[l], starts[r] = starts[r], starts[l]
+	}
+	return starts
+}
+
+// Histogram materializes the optimal B-bucket histogram.
+// A histogram may not benefit from all B buckets (zero-cost prefixes);
+// it still contains exactly min(B, n) buckets as requested.
+func (t *DPTable) Histogram(B int) (*Histogram, error) {
+	return FromBoundaries(t.oracle, t.Boundaries(B))
+}
+
+// OptimalError returns only the optimal B-bucket error (no backtracking,
+// O(n) memory per DP level). Used by tests and by error-normalization.
+func OptimalError(o Oracle, B int) (float64, error) {
+	h, err := Optimal(o, B)
+	if err != nil {
+		return 0, err
+	}
+	return h.Cost, nil
+}

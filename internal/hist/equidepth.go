@@ -1,0 +1,47 @@
+package hist
+
+import (
+	"fmt"
+
+	"probsyn/internal/numeric"
+)
+
+// EquiDepth builds the B-bucket equi-depth histogram over expected
+// frequencies: bucket boundaries are placed at the B-quantiles of the
+// expected cumulative frequency mass. Prior work (§1.1) showed that
+// quantiles over probabilistic data reduce to quantiles over items
+// weighted by expected frequency; this realizes that reduction. Bucket
+// representatives and costs come from the supplied oracle, so the result
+// is directly comparable to Optimal under the same metric.
+func EquiDepth(expected []float64, o Oracle, B int) (*Histogram, error) {
+	n := len(expected)
+	if n == 0 || n != o.N() {
+		return nil, fmt.Errorf("hist: EquiDepth: %d expected frequencies for domain %d", n, o.N())
+	}
+	if B <= 0 {
+		return nil, fmt.Errorf("hist: bucket budget %d, want >= 1", B)
+	}
+	if B > n {
+		B = n
+	}
+	prefix := numeric.PrefixSums(expected)
+	total := prefix[n]
+	starts := make([]int, 0, B)
+	starts = append(starts, 0)
+	for k := 1; k < B; k++ {
+		target := total * float64(k) / float64(B)
+		// first index whose cumulative mass strictly exceeds the target
+		s := numeric.SearchFloats(prefix[1:], target)
+		for prefix[s+1] <= target && s < n-1 {
+			s++
+		}
+		if s <= starts[len(starts)-1] {
+			s = starts[len(starts)-1] + 1
+		}
+		if s >= n {
+			break
+		}
+		starts = append(starts, s)
+	}
+	return FromBoundaries(o, starts)
+}

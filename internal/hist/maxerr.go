@@ -1,0 +1,133 @@
+package hist
+
+import (
+	"fmt"
+
+	"probsyn/internal/metric"
+	"probsyn/internal/minimax"
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// MaxAbs is the oracle for the maximum-error metrics MAE and MARE (§3.6,
+// Theorem 6): the bucket cost is max_{i∈b} f_i(b̂) where
+// f_i(t) = Σ_j w_{i,j}|v_j − t| is each item's expected (weighted) absolute
+// error — convex piecewise linear with breakpoints at V. The upper envelope
+// of convex functions is convex, so:
+//
+//  1. a binary search over V brackets the minimizer between consecutive
+//     frequency values (O(n_b·log²|V|) evaluations), and
+//  2. within a bracket every f_i is linear, so the min-max is a
+//     minimize-max-of-lines problem solved exactly by internal/minimax
+//     (O(n_b·log n_b)) — the paper's "divide-and-conquer over convex hulls".
+//
+// Unlike the cumulative metrics the optimal b̂ may fall strictly between
+// two values of V.
+type MaxAbs struct {
+	kind metric.Kind
+	n    int
+	vs   pdata.ValueSet
+	// itemW[i*k+j] = Σ_{j'<=j} w_{i,j'}; itemS likewise for w·v.
+	itemW, itemS []float64
+	totW, totS   []float64
+}
+
+// NewMaxAbs builds the oracle from a dense pmf table; kind must be
+// metric.MAE or metric.MARE.
+func NewMaxAbs(tab *pdata.PMFTable, kind metric.Kind, p metric.Params) (*MaxAbs, error) {
+	if kind != metric.MAE && kind != metric.MARE {
+		return nil, fmt.Errorf("hist: MaxAbs supports MAE/MARE, got %v", kind)
+	}
+	n, k := tab.N(), tab.VS.Len()
+	o := &MaxAbs{
+		kind:  kind,
+		n:     n,
+		vs:    tab.VS,
+		itemW: make([]float64, n*k),
+		itemS: make([]float64, n*k),
+		totW:  make([]float64, n),
+		totS:  make([]float64, n),
+	}
+	mw := make([]float64, k)
+	for j := 0; j < k; j++ {
+		mw[j] = kind.Weight(tab.VS.Values[j], p)
+	}
+	for i := 0; i < n; i++ {
+		var cw, cs float64
+		for j := 0; j < k; j++ {
+			w := tab.P[i][j] * mw[j]
+			cw += w
+			cs += w * tab.VS.Values[j]
+			o.itemW[i*k+j] = cw
+			o.itemS[i*k+j] = cs
+		}
+		o.totW[i], o.totS[i] = cw, cs
+	}
+	return o, nil
+}
+
+// N returns the domain size.
+func (o *MaxAbs) N() int { return o.n }
+
+// Combine returns Max.
+func (o *MaxAbs) Combine() Combine { return Max }
+
+// Kind returns the metric (MAE or MARE) the oracle prices.
+func (o *MaxAbs) Kind() metric.Kind { return o.kind }
+
+// lineFor returns item i's error as a line a·t+b valid on the segment
+// [V[l], V[l+1]].
+func (o *MaxAbs) lineFor(i, l int) minimax.Line {
+	k := o.vs.Len()
+	return minimax.Line{
+		A: 2*o.itemW[i*k+l] - o.totW[i],
+		B: o.totS[i] - 2*o.itemS[i*k+l],
+	}
+}
+
+// itemErrAt evaluates f_i at V[l].
+func (o *MaxAbs) itemErrAt(i, l int) float64 {
+	ln := o.lineFor(i, l)
+	return ln.A*o.vs.Values[l] + ln.B
+}
+
+// CostAt prices bucket [s, e] with the representative pinned to V[l].
+func (o *MaxAbs) CostAt(l, s, e int) float64 {
+	worst := 0.0
+	for i := s; i <= e; i++ {
+		if v := o.itemErrAt(i, l); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Cost prices bucket [s, e]; the representative may be fractional.
+func (o *MaxAbs) Cost(s, e int) (float64, float64) {
+	k := o.vs.Len()
+	lStar, best := numeric.MinConvexGrid(0, k-1, func(l int) float64 {
+		return o.CostAt(l, s, e)
+	})
+	bestRep := o.vs.Values[lStar]
+	// Refine into the two segments adjacent to the grid minimizer: the
+	// continuous minimizer of a convex envelope lies within one step of
+	// the leftmost grid argmin.
+	lines := make([]minimax.Line, 0, e-s+1)
+	for _, seg := range [2]int{lStar - 1, lStar} {
+		if seg < 0 || seg+1 >= k {
+			continue
+		}
+		lines = lines[:0]
+		for i := s; i <= e; i++ {
+			lines = append(lines, o.lineFor(i, seg))
+		}
+		x, y := minimax.MinimizeMax(lines, o.vs.Values[seg], o.vs.Values[seg+1])
+		if y < best {
+			best, bestRep = y, x
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best, bestRep
+}

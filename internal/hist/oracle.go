@@ -1,0 +1,49 @@
+package hist
+
+// Combine is how per-bucket errors aggregate into the histogram objective:
+// Sum for the cumulative metrics (SSE, SSRE, SAE, SARE), Max for the
+// maximum-error metrics (MAE, MARE). The DP recurrence (Eq. 2) is identical
+// up to this choice of h(x,y).
+type Combine int
+
+// The two aggregation rules of §2.2.
+const (
+	Sum Combine = iota
+	Max
+)
+
+// Oracle prices single buckets under one error objective: Cost returns the
+// minimal expected bucket error for the inclusive item range [s, e] together
+// with the representative value achieving it. Implementations precompute
+// prefix structures so Cost runs in O(1) or O(polylog) time (§3).
+type Oracle interface {
+	// N returns the domain size.
+	N() int
+	// Combine returns the aggregation rule of the oracle's metric.
+	Combine() Combine
+	// Cost returns (min expected bucket error, optimal representative)
+	// for the bucket spanning items s..e, 0 <= s <= e < N().
+	Cost(s, e int) (cost, rep float64)
+}
+
+// SweepOracle is an optional fast path used by the exact DP: fill the costs
+// of every bucket ending at e in one pass. The tuple-pdf SSE oracle uses it
+// to stay exact without per-bucket straddle queries (DESIGN.md finding 3).
+type SweepOracle interface {
+	Oracle
+	// CostsForEnd writes, for each s in [0, e], the cost and optimal
+	// representative of bucket [s, e] into costs[s] and reps[s].
+	// Both slices have length >= e+1.
+	CostsForEnd(e int, costs, reps []float64)
+}
+
+// costsForEnd dispatches to the sweep fast path when available.
+func costsForEnd(o Oracle, e int, costs, reps []float64) {
+	if so, ok := o.(SweepOracle); ok {
+		so.CostsForEnd(e, costs, reps)
+		return
+	}
+	for s := 0; s <= e; s++ {
+		costs[s], reps[s] = o.Cost(s, e)
+	}
+}

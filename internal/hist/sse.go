@@ -1,0 +1,283 @@
+package hist
+
+import (
+	"sort"
+
+	"probsyn/internal/intervals"
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// The SSE family (§3.1). The paper's objective, Eq. (5), prices a bucket at
+//
+//	SSE(b) = Σ_{i∈b} E[g_i²] − (1/n_b)·E[(Σ_{i∈b} g_i)²],
+//
+// the expected within-world deviation from the per-world bucket mean. The
+// fixed-representative variant prices it at Σ E[g_i²] − (Σ E[g_i])²/n_b,
+// the error a stored single representative actually achieves (DESIGN.md
+// finding 1). Both decompose over precomputed prefix arrays.
+
+// SSEValue is the Eq. (5) oracle for the value pdf model, where items are
+// independent so E[(Σg)²] = (ΣE[g])² + ΣVar[g] splits item by item.
+// Cost queries are O(1) after O(m+n) precomputation (Theorem 1).
+type SSEValue struct {
+	meanSq numeric.Prefix // Σ E[g²]
+	mean   numeric.Prefix // Σ E[g]
+	vr     numeric.Prefix // Σ Var[g]
+}
+
+// NewSSEValue builds the oracle from a value pdf.
+func NewSSEValue(vp *pdata.ValuePDF) *SSEValue {
+	mom := pdata.MomentsOf(vp)
+	return &SSEValue{
+		meanSq: numeric.NewPrefix(mom.MeanSq),
+		mean:   numeric.NewPrefix(mom.Mean),
+		vr:     numeric.NewPrefix(mom.Var),
+	}
+}
+
+// N returns the domain size.
+func (o *SSEValue) N() int { return o.mean.Len() }
+
+// Combine returns Sum: SSE is cumulative.
+func (o *SSEValue) Combine() Combine { return Sum }
+
+// Cost implements Eq. (5) for bucket [s, e].
+func (o *SSEValue) Cost(s, e int) (float64, float64) {
+	nb := float64(e - s + 1)
+	sum := o.mean.Range(s, e)
+	cost := o.meanSq.Range(s, e) - (sum*sum+o.vr.Range(s, e))/nb
+	if cost < 0 {
+		cost = 0 // differenced prefixes can go an ulp negative
+	}
+	return cost, sum / nb
+}
+
+// SSEFixed is the fixed-representative SSE oracle, valid for any source
+// because its cost uses only per-item marginal moments:
+// cost = Σ E[g²] − (Σ E[g])²/n_b, minimized by b̂ = mean of expected
+// frequencies. Under this objective the optimal bucketing coincides with
+// the V-optimal histogram of the expected frequencies (finding 1), which
+// the tests verify.
+type SSEFixed struct {
+	meanSq numeric.Prefix
+	mean   numeric.Prefix
+}
+
+// NewSSEFixed builds the oracle from any probabilistic source.
+func NewSSEFixed(src pdata.Source) *SSEFixed {
+	mom := pdata.MomentsOf(src)
+	return &SSEFixed{meanSq: numeric.NewPrefix(mom.MeanSq), mean: numeric.NewPrefix(mom.Mean)}
+}
+
+// N returns the domain size.
+func (o *SSEFixed) N() int { return o.mean.Len() }
+
+// Combine returns Sum.
+func (o *SSEFixed) Combine() Combine { return Sum }
+
+// Cost prices bucket [s, e] against its optimal fixed representative.
+func (o *SSEFixed) Cost(s, e int) (float64, float64) {
+	nb := float64(e - s + 1)
+	sum := o.mean.Range(s, e)
+	cost := o.meanSq.Range(s, e) - sum*sum/nb
+	if cost < 0 {
+		cost = 0
+	}
+	return cost, sum / nb
+}
+
+// SSETuple is the Eq. (5) oracle for the tuple pdf model, where items in
+// one bucket are correlated through shared tuples:
+//
+//	Var[Σ_{i∈b} g_i] = Σ_t P_t(1−P_t),  P_t = Pr[s ≤ t ≤ e].
+//
+// Σ_t P_t comes from the prefix array B[e] = Σ_t Pr[t ≤ e]. Σ_t P_t² would
+// be C[e]−C[s−1] with C[e] = Σ_t Pr[t ≤ e]² — but only when no tuple's
+// alternatives straddle the boundary s−1 (always true in the basic model).
+// The general exact correction subtracts 2·F_t(s−1)·(F_t(e)−F_t(s−1)) for
+// each straddling tuple t, located by an interval-tree stab at s−1
+// (random-access Cost), or is maintained incrementally during a
+// start-sweep for each bucket end (CostsForEnd, used by the DP: total
+// O(nm + Bn²), matching Theorem 1's asymptotics).
+type SSETuple struct {
+	n      int
+	meanSq numeric.Prefix
+	cumB   []float64 // cumB[e] = Σ_t Pr[t <= e], index shifted by 1
+	cumC   []float64 // cumC[e] = Σ_t Pr[t <= e]^2, index shifted by 1
+
+	// closedForm skips the straddle correction, reproducing the paper's
+	// printed formula; kept as a documented fast approximation / ablation.
+	closedForm bool
+
+	// exact random-access machinery
+	tree     *intervals.Tree
+	tupItems [][]int     // per tuple: sorted distinct items
+	tupCum   [][]float64 // per tuple: cumulative probability at tupItems
+
+	// sweep machinery
+	altTuple [][]int32   // per item: tuple indices with an alternative here
+	altProb  [][]float64 // per item: matching probabilities
+	curP     []float64   // scratch: P_t(s,e) for touched tuples
+	touched  []int32
+}
+
+// NewSSETuple builds the exact oracle for a tuple pdf.
+func NewSSETuple(tp *pdata.TuplePDF) *SSETuple {
+	return newSSETuple(tp, false)
+}
+
+// NewSSETupleClosedForm builds the oracle using the paper's closed form
+// without the straddle correction. It is exact exactly when no tuple's
+// alternatives straddle a queried bucket boundary (e.g. the basic model)
+// and an approximation otherwise; see DESIGN.md finding 3.
+func NewSSETupleClosedForm(tp *pdata.TuplePDF) *SSETuple {
+	return newSSETuple(tp, true)
+}
+
+func newSSETuple(tp *pdata.TuplePDF, closedForm bool) *SSETuple {
+	n := tp.N
+	mom := pdata.MomentsOf(tp)
+	o := &SSETuple{
+		n:          n,
+		meanSq:     numeric.NewPrefix(mom.MeanSq),
+		closedForm: closedForm,
+		cumB:       make([]float64, n+1),
+		cumC:       make([]float64, n+1),
+		altTuple:   make([][]int32, n),
+		altProb:    make([][]float64, n),
+		curP:       make([]float64, len(tp.Tuples)),
+		touched:    make([]int32, 0, 64),
+	}
+
+	// Per-item alternative lists (sweep) and per-tuple sorted CDFs (stab).
+	o.tupItems = make([][]int, len(tp.Tuples))
+	o.tupCum = make([][]float64, len(tp.Tuples))
+	ivs := make([]intervals.Interval, 0, len(tp.Tuples))
+	for t := range tp.Tuples {
+		alts := tp.Tuples[t].Alts
+		if len(alts) == 0 {
+			continue
+		}
+		merged := make(map[int]float64, len(alts))
+		for _, a := range alts {
+			if a.Prob != 0 {
+				merged[a.Item] += a.Prob
+				o.altTuple[a.Item] = append(o.altTuple[a.Item], int32(t))
+				o.altProb[a.Item] = append(o.altProb[a.Item], a.Prob)
+			}
+		}
+		items := make([]int, 0, len(merged))
+		for it := range merged {
+			items = append(items, it)
+		}
+		sort.Ints(items)
+		cum := make([]float64, len(items))
+		acc := 0.0
+		for k, it := range items {
+			acc += merged[it]
+			cum[k] = acc
+		}
+		o.tupItems[t], o.tupCum[t] = items, cum
+		if len(items) > 1 {
+			// The tuple can straddle boundaries a in [first, last-1].
+			ivs = append(ivs, intervals.Interval{Lo: items[0], Hi: items[len(items)-1] - 1, ID: t})
+		}
+	}
+	o.tree = intervals.New(ivs)
+
+	// cumB via per-item expected mass; cumC by walking items left to right
+	// updating each tuple's running CDF when it gains mass.
+	var accB, accC numeric.Accumulator
+	runF := make([]float64, len(tp.Tuples))
+	for i := 0; i < n; i++ {
+		for k, t := range o.altTuple[i] {
+			p := o.altProb[i][k]
+			f := runF[t]
+			accC.Add((f+p)*(f+p) - f*f)
+			runF[t] = f + p
+			accB.Add(p)
+		}
+		o.cumB[i+1] = accB.Value()
+		o.cumC[i+1] = accC.Value()
+	}
+	return o
+}
+
+// N returns the domain size.
+func (o *SSETuple) N() int { return o.n }
+
+// Combine returns Sum.
+func (o *SSETuple) Combine() Combine { return Sum }
+
+// tupleCDF returns F_t(x) = Pr[t <= x] by binary search over the tuple's
+// distinct items.
+func (o *SSETuple) tupleCDF(t, x int) float64 {
+	items := o.tupItems[t]
+	k := sort.SearchInts(items, x+1) // first item > x
+	if k == 0 {
+		return 0
+	}
+	return o.tupCum[t][k-1]
+}
+
+// Cost prices bucket [s, e] in O(log m + k·log ℓ) where k is the number of
+// tuples straddling the boundary s-1.
+func (o *SSETuple) Cost(s, e int) (float64, float64) {
+	nb := float64(e - s + 1)
+	esum := o.cumB[e+1] - o.cumB[s]
+	sumP2 := o.cumC[e+1] - o.cumC[s]
+	if s > 0 && !o.closedForm {
+		corr := 0.0
+		o.tree.Stab(s-1, func(iv intervals.Interval) bool {
+			fa := o.tupleCDF(iv.ID, s-1)
+			fb := o.tupleCDF(iv.ID, e)
+			corr += fa * (fb - fa)
+			return true
+		})
+		sumP2 -= 2 * corr
+	}
+	variance := esum - sumP2
+	cost := o.meanSq.Range(s, e) - (esum*esum+variance)/nb
+	if cost < 0 {
+		cost = 0
+	}
+	return cost, esum / nb
+}
+
+// CostsForEnd fills the exact cost of every bucket [s, e] for fixed e by
+// sweeping s downward while maintaining Σ_t P_t(1−P_t) incrementally;
+// each alternative at items <= e is touched once, so the whole DP costs
+// O(nm) for the variance terms.
+func (o *SSETuple) CostsForEnd(e int, costs, reps []float64) {
+	if o.closedForm {
+		// The closed form is already O(1) per query; no sweep needed.
+		for s := 0; s <= e; s++ {
+			costs[s], reps[s] = o.Cost(s, e)
+		}
+		return
+	}
+	varSum := 0.0
+	o.touched = o.touched[:0]
+	for s := e; s >= 0; s-- {
+		for k, t := range o.altTuple[s] {
+			p := o.altProb[s][k]
+			cur := o.curP[t]
+			if cur == 0 {
+				o.touched = append(o.touched, t)
+			}
+			varSum += (cur+p)*(1-cur-p) - cur*(1-cur)
+			o.curP[t] = cur + p
+		}
+		nb := float64(e - s + 1)
+		esum := o.cumB[e+1] - o.cumB[s]
+		cost := o.meanSq.Range(s, e) - (esum*esum+varSum)/nb
+		if cost < 0 {
+			cost = 0
+		}
+		costs[s], reps[s] = cost, esum/nb
+	}
+	for _, t := range o.touched {
+		o.curP[t] = 0
+	}
+}

@@ -1,0 +1,67 @@
+package hist
+
+import (
+	"probsyn/internal/metric"
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// SSRE is the sum-squared-relative-error oracle (§3.2, Theorem 2). With
+// w(v) = 1/max(c,|v|)², the bucket cost is a quadratic in the
+// representative b̂ whose optimum and value come from three prefix arrays:
+//
+//	X[e] = Σ_{i<=e} Σ_j Pr[g_i=v_j]·v_j²·w(v_j)
+//	Y[e] = Σ_{i<=e} Σ_j Pr[g_i=v_j]·v_j·w(v_j)
+//	Z[e] = Σ_{i<=e} Σ_j Pr[g_i=v_j]·w(v_j)
+//
+// cost(s,e) = X − Y²/Z with b̂* = Y/Z (range forms). Implicit zero mass
+// contributes w(0)·Pr[g_i=0] to Z only. Tuple pdf inputs go through the
+// induced value pdf: the cost depends only on per-item marginals.
+type SSRE struct {
+	x, y, z numeric.Prefix
+}
+
+// NewSSRE builds the oracle for a value pdf under sanity constant p.C.
+func NewSSRE(vp *pdata.ValuePDF, p metric.Params) *SSRE {
+	n := vp.N
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	w0 := metric.SSRE.Weight(0, p)
+	for i := 0; i < n; i++ {
+		var xi, yi, zi float64
+		for _, e := range vp.Items[i].Entries {
+			if e.Freq == 0 {
+				continue // folded into the zero mass below
+			}
+			w := metric.SSRE.Weight(e.Freq, p)
+			pw := e.Prob * w
+			xi += pw * e.Freq * e.Freq
+			yi += pw * e.Freq
+			zi += pw
+		}
+		zi += vp.Items[i].ZeroProb() * w0
+		xs[i], ys[i], zs[i] = xi, yi, zi
+	}
+	return &SSRE{x: numeric.NewPrefix(xs), y: numeric.NewPrefix(ys), z: numeric.NewPrefix(zs)}
+}
+
+// N returns the domain size.
+func (o *SSRE) N() int { return o.x.Len() }
+
+// Combine returns Sum.
+func (o *SSRE) Combine() Combine { return Sum }
+
+// Cost prices bucket [s, e] in O(1).
+func (o *SSRE) Cost(s, e int) (float64, float64) {
+	z := o.z.Range(s, e)
+	if z <= 0 {
+		return 0, 0
+	}
+	y := o.y.Range(s, e)
+	cost := o.x.Range(s, e) - y*y/z
+	if cost < 0 {
+		cost = 0
+	}
+	return cost, y / z
+}

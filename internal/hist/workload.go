@@ -1,0 +1,71 @@
+package hist
+
+import (
+	"fmt"
+
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// WorkloadSSE is a workload-weighted fixed-representative SSE oracle — the
+// extension the paper's concluding remarks call for ("the error objective
+// formulations... implicitly assume uniform workloads for point queries").
+// Given non-negative per-item query weights w_i (e.g. point-query access
+// frequencies), the bucket cost is
+//
+//	Σ_{i∈b} w_i·E[(g_i − b̂)²]
+//	  = Σ w_i·E[g_i²] − (Σ w_i·E[g_i])² / Σ w_i   at the optimal
+//	b̂* = Σ w_i·E[g_i] / Σ w_i  (the weight-weighted expected mean),
+//
+// still O(1) per bucket from three prefix arrays, so the same DP applies
+// unchanged. Uniform weights reduce to SSEFixed.
+type WorkloadSSE struct {
+	wMeanSq numeric.Prefix // Σ w·E[g²]
+	wMean   numeric.Prefix // Σ w·E[g]
+	w       numeric.Prefix // Σ w
+}
+
+// NewWorkloadSSE builds the oracle; weights must be non-negative with
+// length equal to the source's domain.
+func NewWorkloadSSE(src pdata.Source, weights []float64) (*WorkloadSSE, error) {
+	n := src.Domain()
+	if len(weights) != n {
+		return nil, fmt.Errorf("hist: %d weights for domain %d", len(weights), n)
+	}
+	mom := pdata.MomentsOf(src)
+	wsq := make([]float64, n)
+	wm := make([]float64, n)
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("hist: negative weight %v at item %d", w, i)
+		}
+		wsq[i] = w * mom.MeanSq[i]
+		wm[i] = w * mom.Mean[i]
+	}
+	return &WorkloadSSE{
+		wMeanSq: numeric.NewPrefix(wsq),
+		wMean:   numeric.NewPrefix(wm),
+		w:       numeric.NewPrefix(weights),
+	}, nil
+}
+
+// N returns the domain size.
+func (o *WorkloadSSE) N() int { return o.w.Len() }
+
+// Combine returns Sum.
+func (o *WorkloadSSE) Combine() Combine { return Sum }
+
+// Cost prices bucket [s, e] in O(1).
+func (o *WorkloadSSE) Cost(s, e int) (float64, float64) {
+	w := o.w.Range(s, e)
+	if w <= 0 {
+		// Unqueried bucket: any representative works and costs nothing.
+		return 0, 0
+	}
+	m := o.wMean.Range(s, e)
+	cost := o.wMeanSq.Range(s, e) - m*m/w
+	if cost < 0 {
+		cost = 0
+	}
+	return cost, m / w
+}

@@ -1,0 +1,109 @@
+// Package minimax solves the one-dimensional problem
+//
+//	minimize over x in [lo, hi] of  max_i (A_i x + B_i),
+//
+// the inner optimization of the MAE/MARE histogram oracles (§3.6): inside a
+// bracket between consecutive frequency values, each item's expected
+// absolute error is linear in the representative b̂, and the bucket cost is
+// the upper envelope of those lines.
+//
+// The envelope of k lines is convex piecewise linear; we build it with the
+// classic slope-sorted hull construction in O(k log k) and read the
+// minimizer off the breakpoint where the envelope slope changes sign.
+package minimax
+
+import (
+	"math"
+	"sort"
+)
+
+// Line is y = A*x + B.
+type Line struct {
+	A, B float64
+}
+
+// Eval returns max_i lines[i] at x, or -Inf for an empty set.
+func Eval(lines []Line, x float64) float64 {
+	best := math.Inf(-1)
+	for _, l := range lines {
+		if v := l.A*x + l.B; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MinimizeMax returns (x*, f(x*)) minimizing f(x) = max_i (A_i x + B_i)
+// over [lo, hi]. It requires lo <= hi and at least one line; otherwise it
+// returns (lo, -Inf) for no lines, and swaps a reversed interval.
+func MinimizeMax(lines []Line, lo, hi float64) (float64, float64) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if len(lines) == 0 {
+		return lo, math.Inf(-1)
+	}
+	env := envelope(lines)
+	// Envelope slopes strictly increase left to right. The unconstrained
+	// minimizer is the breakpoint where slope crosses zero.
+	switch {
+	case env[0].A >= 0: // entirely non-decreasing
+		return lo, Eval(lines, lo)
+	case env[len(env)-1].A <= 0: // entirely non-increasing
+		return hi, Eval(lines, hi)
+	}
+	// Find first envelope line with non-negative slope; the minimizer is
+	// where it meets the previous (negative-slope) line.
+	k := sort.Search(len(env), func(i int) bool { return env[i].A >= 0 })
+	x := intersect(env[k-1], env[k])
+	if x < lo {
+		x = lo
+	} else if x > hi {
+		x = hi
+	}
+	return x, Eval(lines, x)
+}
+
+// intersect returns the x where two non-parallel lines meet.
+func intersect(l1, l2 Line) float64 { return (l2.B - l1.B) / (l1.A - l2.A) }
+
+// envelope returns the subset of lines forming the upper envelope, sorted
+// by strictly increasing slope.
+func envelope(lines []Line) []Line {
+	ls := append([]Line(nil), lines...)
+	sort.Slice(ls, func(a, b int) bool {
+		if ls[a].A != ls[b].A {
+			return ls[a].A < ls[b].A
+		}
+		return ls[a].B < ls[b].B
+	})
+	// Drop duplicate slopes, keeping the largest intercept (last after sort).
+	dedup := ls[:0]
+	for i, l := range ls {
+		if i+1 < len(ls) && ls[i+1].A == l.A {
+			continue
+		}
+		dedup = append(dedup, l)
+	}
+	ls = dedup
+	if len(ls) <= 2 {
+		return ls
+	}
+	hull := make([]Line, 0, len(ls))
+	for _, l := range ls {
+		for len(hull) >= 2 {
+			// hull[len-1] is unnecessary if l overtakes hull[len-2] no later
+			// than hull[len-1] does.
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			if intersect(a, l) <= intersect(a, b) {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		// A new line never removes the need for itself; with only one line
+		// on the hull it always joins.
+		hull = append(hull, l)
+	}
+	return hull
+}

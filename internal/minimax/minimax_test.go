@@ -1,0 +1,129 @@
+package minimax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gridMin brute-forces the minimum over a fine grid (reference value).
+func gridMin(lines []Line, lo, hi float64) (float64, float64) {
+	const steps = 20000
+	bestX, bestY := lo, Eval(lines, lo)
+	for k := 1; k <= steps; k++ {
+		x := lo + (hi-lo)*float64(k)/steps
+		if y := Eval(lines, x); y < bestY {
+			bestX, bestY = x, y
+		}
+	}
+	return bestX, bestY
+}
+
+func TestSingleLine(t *testing.T) {
+	// Increasing line: min at lo.
+	x, y := MinimizeMax([]Line{{A: 2, B: 1}}, -1, 3)
+	if x != -1 || y != -1 {
+		t.Fatalf("got (%v,%v), want (-1,-1)", x, y)
+	}
+	// Decreasing line: min at hi.
+	x, y = MinimizeMax([]Line{{A: -2, B: 1}}, -1, 3)
+	if x != 3 || y != -5 {
+		t.Fatalf("got (%v,%v), want (3,-5)", x, y)
+	}
+	// Flat line.
+	_, y = MinimizeMax([]Line{{A: 0, B: 4}}, 0, 1)
+	if y != 4 {
+		t.Fatalf("flat line min %v, want 4", y)
+	}
+}
+
+func TestVee(t *testing.T) {
+	// |x| as max(x, -x): min 0 at x=0.
+	x, y := MinimizeMax([]Line{{A: 1, B: 0}, {A: -1, B: 0}}, -5, 5)
+	if math.Abs(x) > 1e-12 || math.Abs(y) > 1e-12 {
+		t.Fatalf("got (%v,%v), want (0,0)", x, y)
+	}
+	// Clamped: interval excludes the vertex.
+	x, y = MinimizeMax([]Line{{A: 1, B: 0}, {A: -1, B: 0}}, 2, 5)
+	if x != 2 || y != 2 {
+		t.Fatalf("clamped got (%v,%v), want (2,2)", x, y)
+	}
+}
+
+func TestParallelLines(t *testing.T) {
+	// Two parallel lines: only the higher matters.
+	x, y := MinimizeMax([]Line{{A: -1, B: 0}, {A: -1, B: 5}, {A: 1, B: 5}}, -10, 10)
+	if math.Abs(x-0) > 1e-12 || math.Abs(y-5) > 1e-12 {
+		t.Fatalf("got (%v,%v), want (0,5)", x, y)
+	}
+}
+
+func TestDominatedLineIgnored(t *testing.T) {
+	// Middle line strictly below the envelope everywhere in range.
+	lines := []Line{{A: -1, B: 0}, {A: 0, B: -100}, {A: 1, B: 0}}
+	x, y := MinimizeMax(lines, -5, 5)
+	if math.Abs(x) > 1e-12 || math.Abs(y) > 1e-12 {
+		t.Fatalf("got (%v,%v), want (0,0)", x, y)
+	}
+}
+
+func TestNoLines(t *testing.T) {
+	x, y := MinimizeMax(nil, 1, 2)
+	if x != 1 || !math.IsInf(y, -1) {
+		t.Fatalf("got (%v,%v), want (1,-Inf)", x, y)
+	}
+}
+
+func TestReversedInterval(t *testing.T) {
+	x, _ := MinimizeMax([]Line{{A: 1, B: 0}}, 5, 2)
+	if x != 2 {
+		t.Fatalf("reversed interval: x = %v, want 2", x)
+	}
+}
+
+func TestEvalEmpty(t *testing.T) {
+	if !math.IsInf(Eval(nil, 0), -1) {
+		t.Fatal("Eval(nil) should be -Inf")
+	}
+}
+
+func TestRandomAgainstGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(20)
+		lines := make([]Line, k)
+		for i := range lines {
+			lines[i] = Line{A: rng.NormFloat64() * 3, B: rng.NormFloat64() * 5}
+		}
+		lo := rng.Float64()*4 - 2
+		hi := lo + rng.Float64()*6
+		_, y := MinimizeMax(lines, lo, hi)
+		_, yGrid := gridMin(lines, lo, hi)
+		// The exact solver must be no worse than the grid and very close
+		// below it (the grid overshoots the true min slightly).
+		if y > yGrid+1e-9 {
+			t.Fatalf("trial %d: exact %v above grid reference %v", trial, y, yGrid)
+		}
+		if yGrid-y > 1e-3*(1+math.Abs(yGrid)) {
+			t.Fatalf("trial %d: exact %v implausibly below grid %v", trial, y, yGrid)
+		}
+	}
+}
+
+func TestMinimizerIsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		lines := make([]Line, 1+rng.Intn(10))
+		for i := range lines {
+			lines[i] = Line{A: rng.NormFloat64(), B: rng.NormFloat64()}
+		}
+		lo, hi := -1.5, 2.5
+		x, y := MinimizeMax(lines, lo, hi)
+		if x < lo-1e-12 || x > hi+1e-12 {
+			t.Fatalf("x = %v outside [%v,%v]", x, lo, hi)
+		}
+		if got := Eval(lines, x); math.Abs(got-y) > 1e-9 {
+			t.Fatalf("reported y=%v but Eval(x)=%v", y, got)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package pdata
+
+// Golden tests pinned to Example 1 of the paper (§2.1): the same three-item
+// inputs in all three models, with every possible world and probability the
+// paper lists, plus the moment values quoted in the text.
+//
+// The paper's domain {1,2,3} maps to {0,1,2} here.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// exampleBasic is ⟨1,1/2⟩,⟨2,1/3⟩,⟨2,1/4⟩,⟨3,1/2⟩.
+func exampleBasic() *Basic {
+	return &Basic{N: 3, Tuples: []BasicTuple{
+		{Item: 0, Prob: 0.5},
+		{Item: 1, Prob: 1.0 / 3},
+		{Item: 1, Prob: 0.25},
+		{Item: 2, Prob: 0.5},
+	}}
+}
+
+// exampleTuplePDF is ⟨(1,1/2),(2,1/3)⟩, ⟨(2,1/4),(3,1/2)⟩.
+func exampleTuplePDF() *TuplePDF {
+	return &TuplePDF{N: 3, Tuples: []Tuple{
+		{Alts: []Alternative{{Item: 0, Prob: 0.5}, {Item: 1, Prob: 1.0 / 3}}},
+		{Alts: []Alternative{{Item: 1, Prob: 0.25}, {Item: 2, Prob: 0.5}}},
+	}}
+}
+
+// exampleValuePDF is ⟨1:(1,1/2)⟩, ⟨2:(1,1/3),(2,1/4)⟩, ⟨3:(1,1/2)⟩.
+func exampleValuePDF() *ValuePDF {
+	return &ValuePDF{N: 3, Items: []ItemPDF{
+		{Entries: []FreqProb{{Freq: 1, Prob: 0.5}}},
+		{Entries: []FreqProb{{Freq: 1, Prob: 1.0 / 3}, {Freq: 2, Prob: 0.25}}},
+		{Entries: []FreqProb{{Freq: 1, Prob: 0.5}}},
+	}}
+}
+
+// worldKey renders a frequency vector as the paper's multiset notation,
+// e.g. [1 2 0] -> "122" and [0 0 0] -> "∅".
+func worldKey(freqs []float64) string {
+	s := ""
+	for i, f := range freqs {
+		for k := 0; k < int(f+0.5); k++ {
+			s += fmt.Sprintf("%d", i+1)
+		}
+	}
+	if s == "" {
+		return "∅"
+	}
+	return s
+}
+
+// collectWorlds aggregates enumeration output by world key.
+func collectWorlds(t *testing.T, src Source) map[string]float64 {
+	t.Helper()
+	got := make(map[string]float64)
+	src.EnumerateWorlds(func(freqs []float64, prob float64) bool {
+		got[worldKey(freqs)] += prob
+		return true
+	})
+	return got
+}
+
+func checkWorlds(t *testing.T, got, want map[string]float64) {
+	t.Helper()
+	total := 0.0
+	for k, p := range got {
+		total += p
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("unexpected world %q with probability %v", k, p)
+			continue
+		}
+		if math.Abs(p-w) > 1e-12 {
+			t.Errorf("world %q: probability %v, want %v", k, p, w)
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("missing world %q", k)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v, want 1", total)
+	}
+}
+
+func TestExample1BasicWorlds(t *testing.T) {
+	want := map[string]float64{
+		"∅": 1.0 / 8, "1": 1.0 / 8, "12": 5.0 / 48, "122": 1.0 / 48,
+		"123": 5.0 / 48, "1223": 1.0 / 48, "13": 1.0 / 8, "2": 5.0 / 48,
+		"22": 1.0 / 48, "23": 5.0 / 48, "223": 1.0 / 48, "3": 1.0 / 8,
+	}
+	checkWorlds(t, collectWorlds(t, exampleBasic()), want)
+}
+
+func TestExample1TuplePDFWorlds(t *testing.T) {
+	want := map[string]float64{
+		"∅": 1.0 / 24, "1": 1.0 / 8, "2": 1.0 / 8, "3": 1.0 / 12,
+		"12": 1.0 / 8, "13": 1.0 / 4, "22": 1.0 / 12, "23": 1.0 / 6,
+	}
+	checkWorlds(t, collectWorlds(t, exampleTuplePDF()), want)
+}
+
+func TestExample1ValuePDFWorlds(t *testing.T) {
+	want := map[string]float64{
+		"∅": 5.0 / 48, "1": 5.0 / 48, "12": 1.0 / 12, "122": 1.0 / 16,
+		"123": 1.0 / 12, "1223": 1.0 / 16, "13": 5.0 / 48, "2": 1.0 / 12,
+		"22": 1.0 / 16, "23": 1.0 / 12, "223": 1.0 / 16, "3": 5.0 / 48,
+	}
+	checkWorlds(t, collectWorlds(t, exampleValuePDF()), want)
+}
+
+// "In all three cases, EW[g1] = 1/2. In the value pdf case, EW[g2] = 5/6,
+// for the other two cases EW[g2] = 7/12."
+func TestExample1ExpectedFrequencies(t *testing.T) {
+	for name, src := range map[string]Source{
+		"basic": exampleBasic(), "tuple": exampleTuplePDF(),
+	} {
+		e := src.ExpectedFreqs()
+		if math.Abs(e[0]-0.5) > 1e-12 {
+			t.Errorf("%s: E[g1] = %v, want 1/2", name, e[0])
+		}
+		if math.Abs(e[1]-7.0/12) > 1e-12 {
+			t.Errorf("%s: E[g2] = %v, want 7/12", name, e[1])
+		}
+	}
+	e := exampleValuePDF().ExpectedFreqs()
+	if math.Abs(e[0]-0.5) > 1e-12 {
+		t.Errorf("value pdf: E[g1] = %v, want 1/2", e[0])
+	}
+	if math.Abs(e[1]-5.0/6) > 1e-12 {
+		t.Errorf("value pdf: E[g2] = %v, want 5/6", e[1])
+	}
+}
+
+// The value pdf of Example 1 prints its three pdfs explicitly; check the
+// implicit-zero handling reproduces them.
+func TestExample1ValuePDFZeroMass(t *testing.T) {
+	vp := exampleValuePDF()
+	if z := vp.Items[0].ZeroProb(); math.Abs(z-0.5) > 1e-12 {
+		t.Errorf("Pr[g1=0] = %v, want 1/2", z)
+	}
+	if z := vp.Items[1].ZeroProb(); math.Abs(z-5.0/12) > 1e-12 {
+		t.Errorf("Pr[g2=0] = %v, want 5/12", z)
+	}
+}
+
+// §3.1 worked example: for the tuple pdf input, Σ E[g_i^2] = 252/144 and
+// E[(Σ g_i)^2] = 136/48, giving bucket [1,3] cost 29/36.
+func TestSection31WorkedExampleMoments(t *testing.T) {
+	tp := exampleTuplePDF()
+	mom := MomentsOf(tp)
+	sumSq := mom.MeanSq[0] + mom.MeanSq[1] + mom.MeanSq[2]
+	if math.Abs(sumSq-252.0/144) > 1e-12 {
+		t.Errorf("Σ E[g^2] = %v, want 252/144", sumSq)
+	}
+	// E[(Σ g)^2] via enumeration.
+	esq := 0.0
+	tp.EnumerateWorlds(func(freqs []float64, prob float64) bool {
+		s := freqs[0] + freqs[1] + freqs[2]
+		esq += prob * s * s
+		return true
+	})
+	if math.Abs(esq-136.0/48) > 1e-12 {
+		t.Errorf("E[(Σ g)^2] = %v, want 136/48", esq)
+	}
+	cost := sumSq - esq/3
+	if math.Abs(cost-29.0/36) > 1e-12 {
+		t.Errorf("bucket cost = %v, want 29/36", cost)
+	}
+}
+
+// The induced value pdf of the tuple example must reproduce the per-item
+// marginals implied by the eight worlds.
+func TestExample1InducedValuePDF(t *testing.T) {
+	tp := exampleTuplePDF()
+	iv := InducedValuePDF(tp)
+	// item 2 (index 1) can be chosen by both tuples: Pr[g=2] = 1/3*1/4 = 1/12,
+	// Pr[g=1] = 1/3*3/4 + 2/3*1/4 = 5/12, Pr[g=0] = 1/2.
+	want := map[float64]float64{0: 0.5, 1: 5.0 / 12, 2: 1.0 / 12}
+	got := map[float64]float64{0: iv.Items[1].ZeroProb()}
+	for _, e := range iv.Items[1].Entries {
+		if e.Freq != 0 {
+			got[e.Freq] += e.Prob
+		}
+	}
+	for v, p := range want {
+		if math.Abs(got[v]-p) > 1e-12 {
+			t.Errorf("induced Pr[g2=%v] = %v, want %v", v, got[v], p)
+		}
+	}
+}

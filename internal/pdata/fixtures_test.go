@@ -1,0 +1,52 @@
+package pdata
+
+import "math/rand"
+
+// Random small-instance generators used by the in-package property tests.
+// (Other packages use the exported equivalents in internal/ptest; these are
+// duplicated locally because an in-package test cannot import a package
+// that imports pdata.)
+
+func randomBasic(rng *rand.Rand, n, m int) *Basic {
+	b := &Basic{N: n, Tuples: make([]BasicTuple, m)}
+	for k := range b.Tuples {
+		b.Tuples[k] = BasicTuple{Item: rng.Intn(n), Prob: rng.Float64()}
+	}
+	return b
+}
+
+func randomTuplePDF(rng *rand.Rand, n, tuples, maxAlts int) *TuplePDF {
+	tp := &TuplePDF{N: n, Tuples: make([]Tuple, tuples)}
+	for k := range tp.Tuples {
+		alts := 1 + rng.Intn(maxAlts)
+		mass := rng.Float64()
+		t := Tuple{Alts: make([]Alternative, alts)}
+		remaining := mass
+		for a := 0; a < alts; a++ {
+			p := remaining / float64(alts-a)
+			if a < alts-1 {
+				p = remaining * rng.Float64()
+			}
+			t.Alts[a] = Alternative{Item: rng.Intn(n), Prob: p}
+			remaining -= p
+		}
+		tp.Tuples[k] = t
+	}
+	return tp
+}
+
+func randomValuePDF(rng *rand.Rand, n, maxVals int) *ValuePDF {
+	vp := &ValuePDF{N: n, Items: make([]ItemPDF, n)}
+	for i := range vp.Items {
+		vals := rng.Intn(maxVals + 1)
+		remaining := rng.Float64()
+		entries := make([]FreqProb, 0, vals)
+		for v := 0; v < vals; v++ {
+			p := remaining * rng.Float64()
+			remaining -= p
+			entries = append(entries, FreqProb{Freq: float64(rng.Intn(4)), Prob: p})
+		}
+		vp.Items[i] = ItemPDF{Entries: entries}
+	}
+	return vp
+}

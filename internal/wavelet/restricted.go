@@ -1,0 +1,320 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"probsyn/internal/haar"
+	"probsyn/internal/metric"
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// PointErrors evaluates per-item expected point errors E[err(g_i, v)] at
+// arbitrary reconstruction values v in O(log|V|) (absolute metrics) or O(1)
+// (squared metrics), from per-item precomputed tables (§4.2: "almost all of
+// the actual error computation takes place at the leaf nodes"). Items are
+// those of a value pdf padded to the power-of-two wavelet domain.
+type PointErrors struct {
+	kind metric.Kind
+	p    metric.Params
+	n    int
+	vs   pdata.ValueSet
+	// absolute family: per-item cumulative weight / weight·value over V
+	itemW, itemS []float64
+	totW, totS   []float64
+	// squared family: per-item x=Σpwv², y=Σpwv, z=Σpw
+	x, y, z []float64
+}
+
+// NewPointErrors builds the evaluator for vp (already padded) under kind.
+// Supported kinds: SSEFixed, SSRE, SAE, SARE, MAE, MARE.
+func NewPointErrors(vp *pdata.ValuePDF, kind metric.Kind, p metric.Params) (*PointErrors, error) {
+	pe := &PointErrors{kind: kind, p: p, n: vp.N}
+	switch kind {
+	case metric.SSEFixed, metric.SSRE:
+		pe.x = make([]float64, vp.N)
+		pe.y = make([]float64, vp.N)
+		pe.z = make([]float64, vp.N)
+		w0 := kind.Weight(0, p)
+		for i := 0; i < vp.N; i++ {
+			var xi, yi, zi float64
+			for _, e := range vp.Items[i].Entries {
+				if e.Freq == 0 {
+					continue
+				}
+				w := kind.Weight(e.Freq, p)
+				pw := e.Prob * w
+				xi += pw * e.Freq * e.Freq
+				yi += pw * e.Freq
+				zi += pw
+			}
+			zi += vp.Items[i].ZeroProb() * w0
+			pe.x[i], pe.y[i], pe.z[i] = xi, yi, zi
+		}
+	case metric.SAE, metric.SARE, metric.MAE, metric.MARE:
+		vs := pdata.Support(vp)
+		tab, err := pdata.NewPMFTable(vp, vs)
+		if err != nil {
+			return nil, err
+		}
+		k := vs.Len()
+		pe.vs = vs
+		pe.itemW = make([]float64, vp.N*k)
+		pe.itemS = make([]float64, vp.N*k)
+		pe.totW = make([]float64, vp.N)
+		pe.totS = make([]float64, vp.N)
+		for i := 0; i < vp.N; i++ {
+			var cw, cs float64
+			for j := 0; j < k; j++ {
+				w := tab.P[i][j] * kind.Weight(vs.Values[j], p)
+				cw += w
+				cs += w * vs.Values[j]
+				pe.itemW[i*k+j] = cw
+				pe.itemS[i*k+j] = cs
+			}
+			pe.totW[i], pe.totS[i] = cw, cs
+		}
+	default:
+		return nil, fmt.Errorf("wavelet: PointErrors does not support %v (use BuildSSE for SSE)", kind)
+	}
+	return pe, nil
+}
+
+// Err returns E[err(g_i, v)].
+func (pe *PointErrors) Err(i int, v float64) float64 {
+	switch pe.kind {
+	case metric.SSEFixed, metric.SSRE:
+		e := pe.x[i] - 2*v*pe.y[i] + v*v*pe.z[i]
+		if e < 0 {
+			e = 0
+		}
+		return e
+	default:
+		k := pe.vs.Len()
+		// weight mass at values <= v
+		j := numeric.SearchFloats(pe.vs.Values, v) // first index with value >= v
+		if j < k && pe.vs.Values[j] == v {
+			j++ // include the exact match in the <= side
+		}
+		var wle, sle float64
+		if j > 0 {
+			wle = pe.itemW[i*k+j-1]
+			sle = pe.itemS[i*k+j-1]
+		}
+		e := v*(2*wle-pe.totW[i]) + pe.totS[i] - 2*sle
+		if e < 0 {
+			e = 0
+		}
+		return e
+	}
+}
+
+// Cumulative reports whether the evaluator's metric sums over items.
+func (pe *PointErrors) Cumulative() bool { return pe.kind.Cumulative() }
+
+// SynopsisError evaluates the expected error of an arbitrary synopsis under
+// the evaluator's metric: Σ_i E[err(g_i, rec_i)] for cumulative metrics,
+// max_i for maximum metrics.
+func (pe *PointErrors) SynopsisError(syn *Synopsis) float64 {
+	rec := syn.Reconstruct()
+	if pe.Cumulative() {
+		var acc numeric.Accumulator
+		for i, r := range rec {
+			acc.Add(pe.Err(i, r))
+		}
+		return acc.Value()
+	}
+	worst := 0.0
+	for i, r := range rec {
+		if e := pe.Err(i, r); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// BuildRestricted solves the restricted thresholding problem (§4.2,
+// Theorem 8): choose which coefficients to retain, with every retained
+// coefficient fixed at its expected value, minimizing the expected target
+// error. It runs the coefficient-tree dynamic program OPTW[j, b, v],
+// enumerating incoming values v over ancestor subsets (the O(n²·B²)
+// algorithm the paper describes for the restricted case).
+//
+// The budget semantics are "at most B coefficients". Returns the synopsis
+// and its optimal expected error.
+func BuildRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int) (*Synopsis, float64, error) {
+	if B < 0 {
+		return nil, 0, fmt.Errorf("wavelet: negative budget %d", B)
+	}
+	vp := padValuePDF(pdata.AsValuePDF(src))
+	pe, err := NewPointErrors(vp, kind, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := vp.N
+	cvals := haar.Forward(vp.ExpectedFreqs())
+	if B > n {
+		B = n
+	}
+	d := &restrictedDP{
+		n: n, B: B, cvals: cvals, pe: pe,
+		cumulative: kind.Cumulative(),
+		memo:       make(map[uint64][]float64),
+	}
+
+	if n == 1 {
+		syn := &Synopsis{N: 1}
+		errNo := pe.Err(0, 0)
+		if B >= 1 && pe.Err(0, cvals[0]) <= errNo {
+			syn.Indices = []int{0}
+			syn.Values = []float64{cvals[0]}
+			return syn, pe.Err(0, cvals[0]), nil
+		}
+		return syn, errNo, nil
+	}
+
+	// Root: decide on c0 (the overall average), then solve node 1.
+	noC0 := d.solve(1, 0, 0, 1)
+	withC0 := d.solve(1, 1, cvals[0], 1)
+	best, retainC0 := noC0[B], false
+	if B >= 1 && withC0[B-1] < best {
+		best, retainC0 = withC0[B-1], true
+	}
+
+	var keep []int
+	if retainC0 {
+		keep = append(keep, 0)
+		d.backtrack(1, 1, cvals[0], 1, B-1, &keep)
+	} else {
+		d.backtrack(1, 0, 0, 1, B, &keep)
+	}
+	syn := fromDense(cvals, keep)
+	return syn, best, nil
+}
+
+type restrictedDP struct {
+	n          int
+	B          int
+	cvals      []float64
+	pe         *PointErrors
+	cumulative bool
+	memo       map[uint64][]float64
+}
+
+func (d *restrictedDP) combine(a, b float64) float64 {
+	if d.cumulative {
+		return a + b
+	}
+	return math.Max(a, b)
+}
+
+// solve returns res[b] = minimal subtree error of detail node j with at
+// most b coefficients retained in the subtree, given incoming value v.
+// mask encodes the retain decisions of j's ancestors (c0 at bit 0), which
+// uniquely determine v — it exists purely as a memo key.
+func (d *restrictedDP) solve(j int, mask uint64, v float64, depth int) []float64 {
+	key := uint64(j)<<40 | mask
+	if r, ok := d.memo[key]; ok {
+		return r
+	}
+	res := make([]float64, d.B+1)
+	vj := d.cvals[j]
+	left, right, isLeaf := haar.Children(j, d.n)
+	if isLeaf {
+		res[0] = d.combine(d.pe.Err(left, v), d.pe.Err(right, v))
+		if d.B >= 1 {
+			retained := d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj))
+			res[1] = math.Min(res[0], retained)
+			for b := 2; b <= d.B; b++ {
+				res[b] = res[1]
+			}
+		}
+	} else {
+		childMask := mask << 1
+		lnr := d.solve(left, childMask, v, depth+1)
+		rnr := d.solve(right, childMask, v, depth+1)
+		lr := d.solve(left, childMask|1, v+vj, depth+1)
+		rr := d.solve(right, childMask|1, v-vj, depth+1)
+		for b := 0; b <= d.B; b++ {
+			best := math.Inf(1)
+			for bl := 0; bl <= b; bl++ {
+				if c := d.combine(lnr[bl], rnr[b-bl]); c < best {
+					best = c
+				}
+			}
+			if b >= 1 {
+				for bl := 0; bl <= b-1; bl++ {
+					if c := d.combine(lr[bl], rr[b-1-bl]); c < best {
+						best = c
+					}
+				}
+			}
+			res[b] = best
+		}
+	}
+	d.memo[key] = res
+	return res
+}
+
+// backtrack re-derives the argmin decisions of solve and appends retained
+// coefficient indices to keep.
+func (d *restrictedDP) backtrack(j int, mask uint64, v float64, depth, b int, keep *[]int) {
+	res := d.solve(j, mask, v, depth)
+	target := res[b]
+	vj := d.cvals[j]
+	left, right, isLeaf := haar.Children(j, d.n)
+	if isLeaf {
+		if b >= 1 {
+			retained := d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj))
+			if retained <= target {
+				*keep = append(*keep, j)
+			}
+		}
+		return
+	}
+	childMask := mask << 1
+	lnr := d.solve(left, childMask, v, depth+1)
+	rnr := d.solve(right, childMask, v, depth+1)
+	for bl := 0; bl <= b; bl++ {
+		if d.combine(lnr[bl], rnr[b-bl]) <= target {
+			d.backtrack(left, childMask, v, depth+1, bl, keep)
+			d.backtrack(right, childMask, v, depth+1, b-bl, keep)
+			return
+		}
+	}
+	lr := d.solve(left, childMask|1, v+vj, depth+1)
+	rr := d.solve(right, childMask|1, v-vj, depth+1)
+	for bl := 0; bl <= b-1; bl++ {
+		if d.combine(lr[bl], rr[b-1-bl]) <= target {
+			*keep = append(*keep, j)
+			d.backtrack(left, childMask|1, v+vj, depth+1, bl, keep)
+			d.backtrack(right, childMask|1, v-vj, depth+1, b-1-bl, keep)
+			return
+		}
+	}
+	// Floating-point slack: fall back to the not-retain minimum.
+	bestBl, bestC := 0, math.Inf(1)
+	for bl := 0; bl <= b; bl++ {
+		if c := d.combine(lnr[bl], rnr[b-bl]); c < bestC {
+			bestC, bestBl = c, bl
+		}
+	}
+	d.backtrack(left, childMask, v, depth+1, bestBl, keep)
+	d.backtrack(right, childMask, v, depth+1, b-bestBl, keep)
+}
+
+// padValuePDF extends a value pdf with deterministic-zero items up to the
+// next power-of-two domain size.
+func padValuePDF(vp *pdata.ValuePDF) *pdata.ValuePDF {
+	n := haar.Pow2Ceil(vp.N)
+	if n == vp.N {
+		return vp
+	}
+	out := &pdata.ValuePDF{N: n, Items: make([]pdata.ItemPDF, n)}
+	copy(out.Items, vp.Items)
+	for i := vp.N; i < n; i++ {
+		out.Items[i] = pdata.ItemPDF{Entries: []pdata.FreqProb{{Freq: 0, Prob: 1}}}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"probsyn/internal/haar"
+	"probsyn/internal/metric"
+	"probsyn/internal/pdata"
+)
+
+// BuildUnrestricted approximates the unrestricted thresholding problem of
+// §4.2: retained coefficient values are chosen to optimize the target
+// metric rather than pinned to their expected values. The paper defers
+// this case, sketching the standard approach — "bound and quantize the
+// range of possible coefficient values"; this implements that sketch:
+//
+//   - each coefficient's candidate set is a grid of 2q+1 values spanning
+//     [μ_j − r_j, μ_j + r_j], where μ_j is the expected coefficient and
+//     r_j a pessimistic range bound from the min/max possible frequencies
+//     in its support (the paper's first suggested bounding option);
+//   - the coefficient-tree DP then minimizes over candidate values as well
+//     as retain/drop decisions and budget splits.
+//
+// The incoming-value state space grows as O((2q+2)^depth) per subtree
+// instead of 2^depth, so this is exponentially more expensive than
+// BuildRestricted in both q and log n — use it on small domains (the
+// result is optimal over the quantized candidate sets). By construction
+// its error is never worse than the restricted optimum, since μ_j is
+// always a candidate; the tests verify both properties.
+func BuildUnrestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q int) (*Synopsis, float64, error) {
+	if B < 0 {
+		return nil, 0, fmt.Errorf("wavelet: negative budget %d", B)
+	}
+	if q < 0 {
+		return nil, 0, fmt.Errorf("wavelet: negative quantization %d", q)
+	}
+	vp := padValuePDF(pdata.AsValuePDF(src))
+	pe, err := NewPointErrors(vp, kind, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := vp.N
+	mu := haar.Forward(vp.ExpectedFreqs())
+	if B > n {
+		B = n
+	}
+
+	// Candidate values per coefficient: expected value plus a symmetric
+	// quantized grid over the pessimistic range.
+	cands := candidateGrids(vp, mu, q)
+
+	d := &unrestrictedDP{
+		n: n, B: B, cands: cands, pe: pe,
+		cumulative: kind.Cumulative(),
+		memo:       make(map[string][]float64),
+	}
+	if n == 1 {
+		syn := &Synopsis{N: 1}
+		best := pe.Err(0, 0)
+		bestV := math.NaN()
+		if B >= 1 {
+			for _, v := range cands[0] {
+				if e := pe.Err(0, v); e < best {
+					best, bestV = e, v
+				}
+			}
+		}
+		if !math.IsNaN(bestV) {
+			syn.Indices, syn.Values = []int{0}, []float64{bestV}
+		}
+		return syn, best, nil
+	}
+
+	type choice struct {
+		idx int
+		val float64
+	}
+	var keep []choice
+	// Root: try dropping c0 and every candidate value for it.
+	noC0 := d.solve(1, "", 0)
+	best := noC0[B]
+	bestC0 := math.NaN()
+	if B >= 1 {
+		for ci, v := range cands[0] {
+			res := d.solve(1, fmt.Sprintf("r%d.", ci), v)
+			if res[B-1] < best {
+				best, bestC0 = res[B-1], v
+			}
+		}
+	}
+	if !math.IsNaN(bestC0) {
+		keep = append(keep, choice{0, bestC0})
+		ci := candIndex(cands[0], bestC0)
+		d.backtrack(1, fmt.Sprintf("r%d.", ci), bestC0, B-1, func(j int, v float64) {
+			keep = append(keep, choice{j, v})
+		})
+	} else {
+		d.backtrack(1, "", 0, B, func(j int, v float64) {
+			keep = append(keep, choice{j, v})
+		})
+	}
+	idx := make([]int, len(keep))
+	for k, c := range keep {
+		idx[k] = c.idx
+	}
+	syn := fromDense(make([]float64, n), idx)
+	for k := range syn.Indices {
+		for _, c := range keep {
+			if c.idx == syn.Indices[k] {
+				syn.Values[k] = c.val
+			}
+		}
+	}
+	return syn, best, nil
+}
+
+// candidateGrids builds each coefficient's candidate value list: μ first
+// (so the restricted solution stays reachable), then 2q grid points over
+// the pessimistic range derived from min/max possible frequencies.
+func candidateGrids(vp *pdata.ValuePDF, mu []float64, q int) [][]float64 {
+	n := vp.N
+	minF := make([]float64, n)
+	maxF := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := math.Inf(1), 0.0
+		if vp.Items[i].ZeroProb() > 0 {
+			lo = 0
+		}
+		for _, e := range vp.Items[i].Entries {
+			if e.Prob <= 0 {
+				continue
+			}
+			lo = math.Min(lo, e.Freq)
+			hi = math.Max(hi, e.Freq)
+		}
+		if math.IsInf(lo, 1) {
+			lo = 0
+		}
+		minF[i], maxF[i] = lo, hi
+	}
+	// Coefficient j = (avg of left half - avg of right half)/2; a
+	// pessimistic bound uses extreme frequencies on each side.
+	cands := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		lo, hi := haar.Support(j, n)
+		fmin, fmax := math.Inf(1), math.Inf(-1)
+		for i := lo; i <= hi; i++ {
+			fmin = math.Min(fmin, minF[i])
+			fmax = math.Max(fmax, maxF[i])
+		}
+		var cLo, cHi float64
+		if j == 0 {
+			cLo, cHi = fmin, fmax // the overall average lies within [fmin, fmax]
+		} else {
+			half := (fmax - fmin) / 2
+			cLo, cHi = -half, half
+		}
+		list := []float64{mu[j]}
+		for g := 0; g < 2*q; g++ {
+			v := cLo + (cHi-cLo)*float64(g)/math.Max(1, float64(2*q-1))
+			if v != mu[j] {
+				list = append(list, v)
+			}
+		}
+		cands[j] = list
+	}
+	return cands
+}
+
+func candIndex(cands []float64, v float64) int {
+	for i, c := range cands {
+		if c == v {
+			return i
+		}
+	}
+	return 0
+}
+
+type unrestrictedDP struct {
+	n          int
+	B          int
+	cands      [][]float64
+	pe         *PointErrors
+	cumulative bool
+	memo       map[string][]float64
+}
+
+func (d *unrestrictedDP) combine(a, b float64) float64 {
+	if d.cumulative {
+		return a + b
+	}
+	return math.Max(a, b)
+}
+
+// solve returns res[b] = minimal subtree error of node j with at most b
+// retained coefficients, given incoming value v; path is a string key
+// encoding the ancestor decisions that produced v.
+func (d *unrestrictedDP) solve(j int, path string, v float64) []float64 {
+	key := fmt.Sprintf("%d|%s", j, path)
+	if r, ok := d.memo[key]; ok {
+		return r
+	}
+	res := make([]float64, d.B+1)
+	left, right, isLeaf := haar.Children(j, d.n)
+	if isLeaf {
+		res[0] = d.combine(d.pe.Err(left, v), d.pe.Err(right, v))
+		if d.B >= 1 {
+			best := res[0]
+			for _, vj := range d.cands[j] {
+				if r := d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj)); r < best {
+					best = r
+				}
+			}
+			for b := 1; b <= d.B; b++ {
+				res[b] = best
+			}
+		}
+	} else {
+		lnr := d.solve(left, path+"n.", v)
+		rnr := d.solve(right, path+"n.", v)
+		for b := 0; b <= d.B; b++ {
+			best := math.Inf(1)
+			for bl := 0; bl <= b; bl++ {
+				if c := d.combine(lnr[bl], rnr[b-bl]); c < best {
+					best = c
+				}
+			}
+			res[b] = best
+		}
+		for ci, vj := range d.cands[j] {
+			childPath := fmt.Sprintf("%sr%d.", path, ci)
+			lr := d.solve(left, childPath, v+vj)
+			rr := d.solve(right, childPath, v-vj)
+			for b := 1; b <= d.B; b++ {
+				for bl := 0; bl <= b-1; bl++ {
+					if c := d.combine(lr[bl], rr[b-1-bl]); c < res[b] {
+						res[b] = c
+					}
+				}
+			}
+		}
+	}
+	d.memo[key] = res
+	return res
+}
+
+// backtrack re-derives argmin decisions, reporting retained (index, value)
+// pairs through emit.
+func (d *unrestrictedDP) backtrack(j int, path string, v float64, b int, emit func(int, float64)) {
+	res := d.solve(j, path, v)
+	target := res[b]
+	left, right, isLeaf := haar.Children(j, d.n)
+	if isLeaf {
+		notRetained := d.combine(d.pe.Err(left, v), d.pe.Err(right, v))
+		if b >= 1 && notRetained > target {
+			for _, vj := range d.cands[j] {
+				if d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj)) <= target {
+					emit(j, vj)
+					return
+				}
+			}
+		}
+		return
+	}
+	lnr := d.solve(left, path+"n.", v)
+	rnr := d.solve(right, path+"n.", v)
+	for bl := 0; bl <= b; bl++ {
+		if d.combine(lnr[bl], rnr[b-bl]) <= target {
+			d.backtrack(left, path+"n.", v, bl, emit)
+			d.backtrack(right, path+"n.", v, b-bl, emit)
+			return
+		}
+	}
+	for ci, vj := range d.cands[j] {
+		childPath := fmt.Sprintf("%sr%d.", path, ci)
+		lr := d.solve(left, childPath, v+vj)
+		rr := d.solve(right, childPath, v-vj)
+		for bl := 0; bl <= b-1; bl++ {
+			if d.combine(lr[bl], rr[b-1-bl]) <= target {
+				emit(j, vj)
+				d.backtrack(left, childPath, v+vj, bl, emit)
+				d.backtrack(right, childPath, v-vj, b-1-bl, emit)
+				return
+			}
+		}
+	}
+}
