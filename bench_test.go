@@ -16,6 +16,7 @@ package probsyn_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"probsyn/internal/eval"
@@ -148,7 +149,7 @@ func BenchmarkAblateTupleSSEClosedForm(b *testing.B) {
 
 // Exact DP vs the (1+eps)-approximate DP of Theorem 5, in the B << n
 // regime where the approximation's compressed levels pay off (see
-// EXPERIMENTS.md: at B ~ n/10 the exact DP is already as fast).
+// DESIGN.md: at B ~ n/10 the exact DP is already as fast).
 func BenchmarkAblateExactDP(b *testing.B) {
 	src := benchLinkage(4096)
 	o, err := hist.NewOracle(src, metric.SSE, metric.Params{})
@@ -196,6 +197,62 @@ func BenchmarkWaveletRestrictedSAE(b *testing.B) {
 		if _, _, err := wavelet.BuildRestricted(src, metric.SAE, metric.Params{C: 0.5}, 8); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- parallel DP engine -------------------------------------------------------
+
+// benchWorkers returns the worker counts to compare: serial vs the full
+// machine (vs 2, so the parallel path is still exercised on 1-CPU boxes).
+func benchWorkers() []int {
+	par := runtime.NumCPU()
+	if par < 2 {
+		par = 2
+	}
+	return []int{1, par}
+}
+
+// BenchmarkRunDP tracks the worker-pool DP against the serial baseline on
+// the same oracle, at the sizes where production builds live. The parallel
+// schedule is deterministic (bit-identical tables), so the two variants do
+// exactly the same arithmetic — the ratio is pure scheduling overhead vs
+// speedup.
+func BenchmarkRunDP(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		src := benchLinkage(n)
+		o, err := hist.NewOracle(src, metric.SSE, metric.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, B := range []int{16, 64} {
+			for _, workers := range benchWorkers() {
+				name := fmt.Sprintf("n=%d/B=%d/workers=%d", n, B, workers)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := hist.RunDPWorkers(o, B, workers); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkRunDPSweepOracle: same comparison on the tuple-pdf SSE oracle,
+// whose per-end sweep is sequential (SweepOracle) — only the split-point
+// reduction parallelizes, bounding the achievable speedup.
+func BenchmarkRunDPSweepOracle(b *testing.B) {
+	src := benchTPCH(1024)
+	o := hist.NewSSETuple(src)
+	for _, workers := range benchWorkers() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hist.RunDPWorkers(o, 64, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,134 @@
+package probsyn
+
+import (
+	"fmt"
+
+	"probsyn/internal/hist"
+	"probsyn/internal/wavelet"
+)
+
+// BuildOption configures Build. The zero configuration builds the exact
+// error-optimal histogram single-threaded with DefaultParams.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	params      Params
+	parallelism int
+	eps         float64
+	epsSet      bool
+	weights     []float64
+	wavelet     bool
+}
+
+// WithParams sets the metric parameters (the sanity constant c of the
+// relative-error metrics). The default is DefaultParams().
+func WithParams(p Params) BuildOption {
+	return func(c *buildConfig) { c.params = p }
+}
+
+// WithParallelism spreads the histogram DP's cost sweeps and split-point
+// reductions across the given number of worker goroutines; values <= 0
+// mean one worker per CPU. The parallel schedule is deterministic: results
+// are bit-identical to a single-threaded build.
+func WithParallelism(workers int) BuildOption {
+	return func(c *buildConfig) {
+		if workers <= 0 {
+			workers = 0 // resolved to NumCPU by the DP engine
+		}
+		c.parallelism = workers
+	}
+}
+
+// WithEps switches histogram construction to the (1+eps)-approximate DP of
+// Theorem 5 (cumulative metrics only), trading accuracy for a much smaller
+// split-point search. eps must be > 0; a non-positive value is rejected at
+// Build time rather than silently falling back to the exact DP.
+func WithEps(eps float64) BuildOption {
+	return func(c *buildConfig) { c.eps, c.epsSet = eps, true }
+}
+
+// WithWorkloadWeights builds the histogram under query-workload-weighted
+// expected squared error: weights[i] is the access frequency of point
+// queries on item i. Requires the SSEFixed (or SSE) metric — the weighted
+// objective charges a stored representative, and uniform weights reduce to
+// SSEFixed.
+func WithWorkloadWeights(weights []float64) BuildOption {
+	return func(c *buildConfig) { c.weights = weights }
+}
+
+// WithWavelet builds a B-term wavelet synopsis instead of a histogram:
+// the SSE-optimal synopsis of Theorem 7 for SSE/SSEFixed, the restricted
+// coefficient-tree DP of Theorem 8 otherwise.
+func WithWavelet() BuildOption {
+	return func(c *buildConfig) { c.wavelet = true }
+}
+
+// Build is the unified synopsis constructor: it builds a B-term synopsis
+// of the requested family minimizing the metric's expected error over the
+// source's possible worlds, and returns it behind the shared Synopsis
+// interface (Estimate/RangeSum/Terms/ErrorCost; serializable with
+// MarshalSynopsis). OptimalHistogram, ApproxHistogram, WorkloadHistogram
+// and the wavelet builders are thin wrappers over the same paths.
+func Build(src Source, m Metric, B int, opts ...BuildOption) (Synopsis, error) {
+	cfg := buildConfig{params: DefaultParams(), parallelism: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	// Return an untyped nil on error: wrapping a nil concrete pointer in
+	// the interface would defeat callers' `!= nil` checks.
+	if cfg.wavelet {
+		syn, err := buildWavelet(src, m, B, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		return syn, nil
+	}
+	h, err := buildHistogram(src, m, B, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func buildHistogram(src Source, m Metric, B int, cfg *buildConfig) (*Histogram, error) {
+	var (
+		o   hist.Oracle
+		err error
+	)
+	if cfg.weights != nil {
+		if m != SSE && m != SSEFixed {
+			return nil, fmt.Errorf("probsyn: workload weights require the SSE or SSE-fixed metric, got %v", m)
+		}
+		o, err = hist.NewWorkloadSSE(src, cfg.weights)
+	} else {
+		o, err = hist.NewOracle(src, m, cfg.params)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.epsSet {
+		return hist.ApproximateWorkers(o, B, cfg.eps, cfg.parallelism)
+	}
+	return hist.OptimalWorkers(o, B, cfg.parallelism)
+}
+
+func buildWavelet(src Source, m Metric, B int, cfg *buildConfig) (*WaveletSynopsis, error) {
+	switch {
+	case cfg.weights != nil:
+		return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
+	case cfg.epsSet:
+		return nil, fmt.Errorf("probsyn: the (1+eps)-approximate DP is a histogram option")
+	}
+	if m == SSE || m == SSEFixed {
+		syn, _, err := wavelet.BuildSSE(src, B)
+		return syn, err
+	}
+	syn, _, err := wavelet.BuildRestricted(src, m, cfg.params, B)
+	return syn, err
+}
+
+// assert the concrete families satisfy the shared interface.
+var (
+	_ Synopsis = (*hist.Histogram)(nil)
+	_ Synopsis = (*wavelet.Synopsis)(nil)
+)

@@ -1,0 +1,155 @@
+package probsyn_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"probsyn"
+)
+
+// Build must produce the same histogram as the named wrappers, at any
+// parallelism, behind the shared interface.
+func TestBuildMatchesWrappers(t *testing.T) {
+	src := sampleValuePDF()
+	want, err := probsyn.OptimalHistogram(src, probsyn.SSRE, probsyn.DefaultParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, runtime.NumCPU(), 0} {
+		s, err := probsyn.Build(src, probsyn.SSRE, 2, probsyn.WithParallelism(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		h, ok := s.(*probsyn.Histogram)
+		if !ok {
+			t.Fatalf("workers=%d: Build returned %T, want *Histogram", workers, s)
+		}
+		if h.Cost != want.Cost || h.B() != want.B() {
+			t.Fatalf("workers=%d: (B=%d, cost=%v) != wrapper (B=%d, cost=%v)",
+				workers, h.B(), h.Cost, want.B(), want.Cost)
+		}
+	}
+}
+
+func TestBuildWaveletOption(t *testing.T) {
+	src := sampleValuePDF()
+	s, err := probsyn.Build(src, probsyn.SSE, 3, probsyn.WithWavelet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, ok := s.(*probsyn.WaveletSynopsis)
+	if !ok {
+		t.Fatalf("Build returned %T, want *WaveletSynopsis", s)
+	}
+	want, rep, err := probsyn.SSEWavelet(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Terms() != want.Terms() || syn.ErrorCost() != rep.ExpectedSSE {
+		t.Fatalf("wavelet Build: %d terms cost %v, want %d terms cost %v",
+			syn.Terms(), syn.ErrorCost(), want.Terms(), rep.ExpectedSSE)
+	}
+	// Restricted path for a non-SSE metric.
+	s, err = probsyn.Build(src, probsyn.SAE, 2, probsyn.WithWavelet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*probsyn.WaveletSynopsis); !ok {
+		t.Fatalf("Build(SAE, WithWavelet) returned %T", s)
+	}
+}
+
+func TestBuildOptionValidation(t *testing.T) {
+	src := sampleValuePDF()
+	// Non-positive eps must error, not silently fall back to the exact DP.
+	for _, eps := range []float64{0, -0.5} {
+		if _, err := probsyn.Build(src, probsyn.SSE, 2, probsyn.WithEps(eps)); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+		if _, err := probsyn.ApproxHistogram(src, probsyn.SSE, probsyn.DefaultParams(), 2, eps); err == nil {
+			t.Errorf("ApproxHistogram eps=%v accepted", eps)
+		}
+	}
+	// Errors must return an untyped nil interface, not a typed-nil pointer
+	// (the approximate DP rejects maximum-error metrics).
+	if s, err := probsyn.Build(src, probsyn.MAE, 2, probsyn.WithEps(0.5)); err == nil {
+		t.Error("approximate DP accepted for a maximum-error metric")
+	} else if s != nil {
+		t.Errorf("Build error path returned non-nil Synopsis %#v", s)
+	}
+	if _, err := probsyn.Build(src, probsyn.SAE, 2, probsyn.WithWorkloadWeights([]float64{1, 1, 1, 1})); err == nil {
+		t.Error("workload weights accepted under SAE")
+	}
+	if _, err := probsyn.Build(src, probsyn.SSE, 2, probsyn.WithWavelet(), probsyn.WithEps(0.5)); err == nil {
+		t.Error("eps accepted for wavelet family")
+	}
+	if _, err := probsyn.Build(src, probsyn.SSE, 2, probsyn.WithWavelet(),
+		probsyn.WithWorkloadWeights([]float64{1, 1, 1, 1})); err == nil {
+		t.Error("workload weights accepted for wavelet family")
+	}
+}
+
+func TestBuildWorkloadWeights(t *testing.T) {
+	src := sampleValuePDF()
+	weights := []float64{1, 1, 10, 10}
+	want, err := probsyn.WorkloadHistogram(src, weights, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := probsyn.Build(src, probsyn.SSEFixed, 2, probsyn.WithWorkloadWeights(weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := s.(*probsyn.Histogram); h.Cost != want.Cost {
+		t.Fatalf("Build workload cost %v != wrapper %v", h.Cost, want.Cost)
+	}
+}
+
+// The public serialization facade: both families survive binary and JSON
+// round-trips, and the streaming helpers agree with the byte-level ones.
+func TestSynopsisFacadeRoundTrip(t *testing.T) {
+	src := sampleValuePDF()
+	h, err := probsyn.Build(src, probsyn.SSE, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := probsyn.Build(src, probsyn.SSE, 2, probsyn.WithWavelet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []probsyn.Synopsis{h, w} {
+		for name, marshal := range map[string]func(probsyn.Synopsis) ([]byte, error){
+			"binary": probsyn.MarshalSynopsis,
+			"json":   probsyn.MarshalSynopsisJSON,
+		} {
+			blob, err := marshal(s)
+			if err != nil {
+				t.Fatalf("%T/%s: %v", s, name, err)
+			}
+			back, err := probsyn.UnmarshalSynopsis(blob)
+			if err != nil {
+				t.Fatalf("%T/%s: %v", s, name, err)
+			}
+			for i := 0; i < 4; i++ {
+				if a, b := s.Estimate(i), back.Estimate(i); a != b {
+					t.Fatalf("%T/%s: Estimate(%d) %v != %v", s, name, i, b, a)
+				}
+			}
+			if a, b := s.ErrorCost(), back.ErrorCost(); a != b {
+				t.Fatalf("%T/%s: ErrorCost %v != %v", s, name, b, a)
+			}
+		}
+		var buf bytes.Buffer
+		if err := probsyn.WriteSynopsis(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		back, err := probsyn.ReadSynopsis(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Terms() != s.Terms() {
+			t.Fatalf("%T: stream round-trip terms %d != %d", s, back.Terms(), s.Terms())
+		}
+	}
+}

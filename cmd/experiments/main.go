@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,12 +27,23 @@ import (
 )
 
 var (
-	flagN       = flag.Int("n", 2048, "domain size for figure 2 (paper: 10000)")
-	flagSeed    = flag.Int64("seed", 42, "random seed")
-	flagSamples = flag.Int("samples", 3, "sampled-world repetitions")
-	flagPoints  = flag.Int("points", 10, "budgets per series")
-	flagFull    = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
+	flagN        = flag.Int("n", 2048, "domain size for figure 2 (paper: 10000)")
+	flagSeed     = flag.Int64("seed", 42, "random seed")
+	flagSamples  = flag.Int("samples", 3, "sampled-world repetitions")
+	flagPoints   = flag.Int("points", 10, "budgets per series")
+	flagFull     = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
+	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines (<= 0: one per CPU); results are identical at any setting")
 )
+
+// workers resolves -parallelism to an explicit positive worker count, so
+// every subcommand (and eval.HistogramExperiment, whose zero value means
+// serial) sees the same setting.
+func workers() int {
+	if *flagParallel <= 0 {
+		return runtime.NumCPU()
+	}
+	return *flagParallel
+}
 
 func main() {
 	flag.Parse()
@@ -103,12 +115,13 @@ func fig2(k metric.Kind, c float64, title string) {
 	rng := rand.New(rand.NewSource(*flagSeed))
 	src := gen.MystiQLinkage(rng, gen.DefaultMystiQ(n))
 	exp := &eval.HistogramExperiment{
-		Source:  src,
-		Metric:  k,
-		Params:  metric.Params{C: c},
-		Budgets: budgets(n/10, *flagPoints),
-		Samples: *flagSamples,
-		Rng:     rng,
+		Source:      src,
+		Metric:      k,
+		Params:      metric.Params{C: c},
+		Budgets:     budgets(n/10, *flagPoints),
+		Samples:     *flagSamples,
+		Rng:         rng,
+		Parallelism: workers(),
 	}
 	start := time.Now()
 	series, err := exp.Run()
@@ -151,7 +164,7 @@ func fig3a() {
 		o, err := hist.NewOracle(src, metric.SSRE, metric.Params{C: 0.5})
 		check(err)
 		start := time.Now()
-		_, err = hist.Optimal(o, B)
+		_, err = hist.OptimalWorkers(o, B, workers())
 		check(err)
 		fmt.Printf("%d,%.3f\n", n, time.Since(start).Seconds())
 	}
@@ -171,7 +184,7 @@ func fig3b() {
 	fmt.Println("buckets,seconds")
 	for _, B := range budgets(n/10, *flagPoints) {
 		start := time.Now()
-		_, err := hist.Optimal(o, B)
+		_, err := hist.OptimalWorkers(o, B, workers())
 		check(err)
 		fmt.Printf("%d,%.3f\n", B, time.Since(start).Seconds())
 	}
@@ -252,11 +265,11 @@ func ablateStraddle() {
 	fmt.Println("buckets,exact_cost,closedform_cost_repriced,regret_pct,exact_seconds,closedform_seconds")
 	for _, B := range []int{4, 16, 64} {
 		t0 := time.Now()
-		hOpt, err := hist.Optimal(exact, B)
+		hOpt, err := hist.OptimalWorkers(exact, B, workers())
 		check(err)
 		dtExact := time.Since(t0)
 		t0 = time.Now()
-		hClosed, err := hist.Optimal(closed, B)
+		hClosed, err := hist.OptimalWorkers(closed, B, workers())
 		check(err)
 		dtClosed := time.Since(t0)
 		repriced, err := hist.FromBoundaries(exact, hClosed.Boundaries())
@@ -284,13 +297,13 @@ func ablateApprox() {
 	B := 16
 	fmt.Printf("# ablate-approx: exact vs (1+eps)-approximate DP; n=%d, B=%d, SSE\n", n, B)
 	t0 := time.Now()
-	opt, err := hist.Optimal(o, B)
+	opt, err := hist.OptimalWorkers(o, B, workers())
 	check(err)
 	exactSec := time.Since(t0).Seconds()
 	fmt.Println("eps,cost_ratio,approx_seconds,exact_seconds")
 	for _, eps := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
 		t0 = time.Now()
-		apx, err := hist.Approximate(o, B, eps)
+		apx, err := hist.ApproximateWorkers(o, B, eps, workers())
 		check(err)
 		fmt.Printf("%.2f,%.5f,%.3f,%.3f\n", eps, apx.Cost/opt.Cost, time.Since(t0).Seconds(), exactSec)
 	}

@@ -1,35 +1,45 @@
 // Command psyn builds histogram and wavelet synopses from a probabilistic
-// dataset file (probsyn text format; see cmd/datagen to create one).
+// dataset file (probsyn text format; see cmd/datagen to create one), and
+// saves/loads them through the versioned synopsis codec.
 //
 // Examples:
 //
 //	psyn -input data.pd -metric SSE -buckets 20
 //	psyn -input data.pd -metric SARE -c 1.0 -buckets 50 -approx 0.25
-//	psyn -input data.pd -wavelet -coeffs 32
-//	psyn -input data.pd -wavelet -metric SAE -coeffs 16
+//	psyn -input data.pd -metric SSE -buckets 64 -parallelism 0 -out h.syn
+//	psyn -input data.pd -wavelet -coeffs 32 -out w.json
+//	psyn -in h.syn
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"probsyn"
 )
 
 var (
-	flagInput   = flag.String("input", "", "dataset file (required)")
-	flagMetric  = flag.String("metric", "SSE", "error metric: SSE, SSE-fixed, SSRE, SAE, SARE, MAE, MARE")
-	flagC       = flag.Float64("c", 0.5, "sanity constant for relative-error metrics")
-	flagBuckets = flag.Int("buckets", 16, "histogram bucket budget")
-	flagApprox  = flag.Float64("approx", 0, "if > 0, build a (1+eps)-approximate histogram with this eps")
-	flagEqui    = flag.Bool("equidepth", false, "build the equi-depth heuristic instead of the optimal histogram")
-	flagWavelet = flag.Bool("wavelet", false, "build a wavelet synopsis instead of a histogram")
-	flagCoeffs  = flag.Int("coeffs", 16, "wavelet coefficient budget")
+	flagInput    = flag.String("input", "", "dataset file (required unless -in is given)")
+	flagMetric   = flag.String("metric", "SSE", "error metric: SSE, SSE-fixed, SSRE, SAE, SARE, MAE, MARE")
+	flagC        = flag.Float64("c", 0.5, "sanity constant for relative-error metrics")
+	flagBuckets  = flag.Int("buckets", 16, "histogram bucket budget")
+	flagApprox   = flag.Float64("approx", 0, "if > 0, build a (1+eps)-approximate histogram with this eps")
+	flagEqui     = flag.Bool("equidepth", false, "build the equi-depth heuristic instead of the optimal histogram")
+	flagWavelet  = flag.Bool("wavelet", false, "build a wavelet synopsis instead of a histogram")
+	flagCoeffs   = flag.Int("coeffs", 16, "wavelet coefficient budget")
+	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines (<= 0: one per CPU); output is identical at any setting")
+	flagOut      = flag.String("out", "", "save the built synopsis to this file (.json: JSON envelope, otherwise binary)")
+	flagIn       = flag.String("in", "", "load a saved synopsis instead of building one")
 )
 
 func main() {
 	flag.Parse()
+	if *flagIn != "" {
+		loadSynopsis(*flagIn)
+		return
+	}
 	if *flagInput == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -44,14 +54,23 @@ func main() {
 	fatal(err)
 	p := probsyn.Params{C: *flagC}
 
+	var syn probsyn.Synopsis
 	if *flagWavelet {
-		buildWavelet(src, m, p)
-		return
+		syn = buildWavelet(src, m, p)
+	} else {
+		syn = buildHistogram(src, m, p)
 	}
-	buildHistogram(src, m, p)
+	if *flagOut != "" {
+		saveSynopsis(*flagOut, syn)
+	}
 }
 
-func buildHistogram(src probsyn.Source, m probsyn.Metric, p probsyn.Params) {
+func buildOptions(p probsyn.Params, extra ...probsyn.BuildOption) []probsyn.BuildOption {
+	opts := []probsyn.BuildOption{probsyn.WithParams(p), probsyn.WithParallelism(*flagParallel)}
+	return append(opts, extra...)
+}
+
+func buildHistogram(src probsyn.Source, m probsyn.Metric, p probsyn.Params) probsyn.Synopsis {
 	var (
 		h   *probsyn.Histogram
 		err error
@@ -62,10 +81,18 @@ func buildHistogram(src probsyn.Source, m probsyn.Metric, p probsyn.Params) {
 		h, err = probsyn.EquiDepthHistogram(src, m, p, *flagBuckets)
 		how = "equi-depth"
 	case *flagApprox > 0:
-		h, err = probsyn.ApproxHistogram(src, m, p, *flagBuckets, *flagApprox)
+		var s probsyn.Synopsis
+		s, err = probsyn.Build(src, m, *flagBuckets, buildOptions(p, probsyn.WithEps(*flagApprox))...)
+		if err == nil {
+			h = s.(*probsyn.Histogram)
+		}
 		how = fmt.Sprintf("(1+%g)-approximate", *flagApprox)
 	default:
-		h, err = probsyn.OptimalHistogram(src, m, p, *flagBuckets)
+		var s probsyn.Synopsis
+		s, err = probsyn.Build(src, m, *flagBuckets, buildOptions(p)...)
+		if err == nil {
+			h = s.(*probsyn.Histogram)
+		}
 		how = "optimal"
 	}
 	fatal(err)
@@ -75,9 +102,10 @@ func buildHistogram(src probsyn.Source, m probsyn.Metric, p probsyn.Params) {
 	for _, b := range h.Buckets {
 		fmt.Printf("%d,%d,%d,%.6g,%.6g\n", b.Start, b.End, b.Width(), b.Rep, b.Cost)
 	}
+	return h
 }
 
-func buildWavelet(src probsyn.Source, m probsyn.Metric, p probsyn.Params) {
+func buildWavelet(src probsyn.Source, m probsyn.Metric, p probsyn.Params) probsyn.Synopsis {
 	if m == probsyn.SSE || m == probsyn.SSEFixed {
 		syn, rep, err := probsyn.SSEWavelet(src, *flagCoeffs)
 		fatal(err)
@@ -86,19 +114,58 @@ func buildWavelet(src probsyn.Source, m probsyn.Metric, p probsyn.Params) {
 		fmt.Printf("expected SSE %.6g (irreducible variance %.6g, dropped energy %.6g = %.2f%%)\n",
 			rep.ExpectedSSE, rep.VarianceFloor, rep.DroppedMuSq(), rep.ErrorPercent())
 		printCoeffs(syn)
-		return
+		return syn
 	}
 	syn, cost, err := probsyn.RestrictedWavelet(src, m, p, *flagCoeffs)
 	fatal(err)
 	fmt.Printf("restricted %v wavelet synopsis over n=%d (padded %d): %d coefficients, expected error %.6g\n",
 		m, src.Domain(), syn.N, syn.B(), cost)
 	printCoeffs(syn)
+	return syn
 }
 
 func printCoeffs(syn *probsyn.WaveletSynopsis) {
 	fmt.Println("index,value")
 	for k, idx := range syn.Indices {
 		fmt.Printf("%d,%.6g\n", idx, syn.Values[k])
+	}
+}
+
+// saveSynopsis writes the synopsis through the versioned codec: JSON when
+// the path ends in .json, the binary envelope otherwise.
+func saveSynopsis(path string, syn probsyn.Synopsis) {
+	var (
+		data []byte
+		err  error
+	)
+	if strings.HasSuffix(path, ".json") {
+		data, err = probsyn.MarshalSynopsisJSON(syn)
+	} else {
+		data, err = probsyn.MarshalSynopsis(syn)
+	}
+	fatal(err)
+	fatal(os.WriteFile(path, data, 0o644))
+	fmt.Printf("saved %d-term synopsis to %s (%d bytes)\n", syn.Terms(), path, len(data))
+}
+
+// loadSynopsis reads a saved synopsis (either envelope) and summarizes it.
+func loadSynopsis(path string) {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	syn, err := probsyn.UnmarshalSynopsis(data)
+	fatal(err)
+	switch s := syn.(type) {
+	case *probsyn.Histogram:
+		fmt.Printf("histogram synopsis: n=%d, %d buckets, expected error %.6g\n", s.N, s.Terms(), s.ErrorCost())
+		fmt.Println("start,end,width,representative,bucket_cost")
+		for _, b := range s.Buckets {
+			fmt.Printf("%d,%d,%d,%.6g,%.6g\n", b.Start, b.End, b.Width(), b.Rep, b.Cost)
+		}
+	case *probsyn.WaveletSynopsis:
+		fmt.Printf("wavelet synopsis: n=%d (padded), %d coefficients, expected error %.6g\n", s.N, s.Terms(), s.ErrorCost())
+		printCoeffs(s)
+	default:
+		fmt.Printf("synopsis: %d terms, expected error %.6g\n", syn.Terms(), syn.ErrorCost())
 	}
 }
 

@@ -22,16 +22,20 @@ func main() {
 	lineitem := gen.TPCHLineitem(rng, gen.DefaultTPCH(n, m))
 	fmt.Printf("uncertain lineitem-partkey: %d partkeys, %d uncertain tuples\n", n, m)
 
+	// Build both families through the unified entry point: same source,
+	// same budget, same expected-SSE objective — one returns buckets, the
+	// other retained Haar coefficients, and both serve queries behind the
+	// shared Synopsis interface. The histogram DP fans out across CPUs.
 	const B = 32
-	h, err := probsyn.OptimalHistogram(lineitem, probsyn.SSE, probsyn.Params{}, B)
+	h, err := probsyn.Build(lineitem, probsyn.SSE, B, probsyn.WithParallelism(0))
 	if err != nil {
 		panic(err)
 	}
-	syn, _, err := probsyn.SSEWavelet(lineitem, B)
+	syn, err := probsyn.Build(lineitem, probsyn.SSE, B, probsyn.WithWavelet())
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("synopses: %d-bucket SSE histogram, %d-term wavelet\n\n", h.B(), syn.B())
+	fmt.Printf("synopses: %d-bucket SSE histogram, %d-term wavelet\n\n", h.Terms(), syn.Terms())
 
 	exact := lineitem.ExpectedFreqs()
 	queries := [][2]int{{0, 255}, {256, 1023}, {100, 140}, {1024, 2047}, {1500, 1600}}

@@ -76,4 +76,23 @@ func main() {
 		fmt.Printf("item %2d: wavelet estimate %6.2f, histogram estimate %6.2f\n",
 			i, syn.Estimate(i), h.Estimate(i))
 	}
+
+	// Both families share one Synopsis interface, so they can be queried,
+	// serialized, and reloaded uniformly. The binary codec round-trips a
+	// synopsis exactly; a saved file can be reloaded without knowing which
+	// family produced it.
+	fmt.Printf("\n== shared synopsis layer ==\n")
+	for _, s := range []probsyn.Synopsis{h, syn} {
+		blob, err := probsyn.MarshalSynopsis(s)
+		if err != nil {
+			panic(err)
+		}
+		back, err := probsyn.UnmarshalSynopsis(blob)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%T: %d terms, expected error %.3f, %d bytes on the wire, "+
+			"range-sum[0..15] %.2f == %.2f after reload\n",
+			s, s.Terms(), s.ErrorCost(), len(blob), s.RangeSum(0, 15), back.RangeSum(0, 15))
+	}
 }

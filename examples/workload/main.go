@@ -30,15 +30,23 @@ func main() {
 		weights[i] += 0.9 / 32
 	}
 
+	// Both histograms go through the unified Build entry point; the
+	// workload objective is just an option, and the DP runs on every CPU
+	// (the parallel schedule is deterministic, so the result is identical
+	// to a single-threaded build).
 	const B = 12
-	uniform, err := probsyn.OptimalHistogram(readings, probsyn.SSEFixed, probsyn.Params{}, B)
+	uniformSyn, err := probsyn.Build(readings, probsyn.SSEFixed, B,
+		probsyn.WithParallelism(0))
 	if err != nil {
 		panic(err)
 	}
-	weighted, err := probsyn.WorkloadHistogram(readings, weights, B)
+	uniform := uniformSyn.(*probsyn.Histogram)
+	weightedSyn, err := probsyn.Build(readings, probsyn.SSEFixed, B,
+		probsyn.WithWorkloadWeights(weights), probsyn.WithParallelism(0))
 	if err != nil {
 		panic(err)
 	}
+	weighted := weightedSyn.(*probsyn.Histogram)
 
 	bucketsIn := func(h *probsyn.Histogram, lo, hi int) int {
 		c := 0

@@ -1,0 +1,3 @@
+module probsyn
+
+go 1.24

@@ -71,6 +71,10 @@ type HistogramExperiment struct {
 	Budgets []int // ascending bucket budgets to report
 	Samples int   // number of SampledWorld repetitions (the paper plots 3)
 	Rng     *rand.Rand
+	// Parallelism is the DP worker count (0 or 1: single-threaded,
+	// < 0: one worker per CPU). The DP schedule is deterministic, so the
+	// reported series are identical at any setting.
+	Parallelism int
 }
 
 // Run executes the experiment and returns one series per method (plus one
@@ -92,7 +96,7 @@ func (e *HistogramExperiment) Run() ([]HistSeries, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab, err := hist.RunDP(probOracle, bmax)
+	tab, err := hist.RunDPWorkers(probOracle, bmax, e.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +148,18 @@ func (e *HistogramExperiment) Run() ([]HistSeries, error) {
 	return out, nil
 }
 
+// workers maps the Parallelism field to the DP engine's convention.
+func (e *HistogramExperiment) workers() int {
+	switch {
+	case e.Parallelism < 0:
+		return 0 // one per CPU
+	case e.Parallelism == 0:
+		return 1
+	default:
+		return e.Parallelism
+	}
+}
+
 // heuristicSeries optimizes the deterministic stand-in under the same
 // metric, then re-prices each bucketing under the probabilistic oracle
 // (representatives re-optimized per bucket, matching the paper's
@@ -155,7 +171,7 @@ func (e *HistogramExperiment) heuristicSeries(probOracle hist.Oracle, pct func(f
 	if err != nil {
 		return HistSeries{}, err
 	}
-	detTab, err := hist.RunDP(detOracle, bmax)
+	detTab, err := hist.RunDPWorkers(detOracle, bmax, e.workers())
 	if err != nil {
 		return HistSeries{}, err
 	}

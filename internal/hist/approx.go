@@ -3,6 +3,7 @@ package hist
 import (
 	"fmt"
 	"math"
+	"runtime"
 )
 
 // Approximate computes a (1+eps)-approximate B-bucket histogram for
@@ -18,6 +19,17 @@ import (
 // The returned histogram's cost is at most (1+delta)^B ≤ e^(eps/2) ≤
 // (1+eps) times optimal for eps ≤ 1.
 func Approximate(o Oracle, B int, eps float64) (*Histogram, error) {
+	return ApproximateWorkers(o, B, eps, 1)
+}
+
+// ApproximateWorkers is Approximate with each DP level's end-point loop
+// spread across `workers` goroutines (workers <= 0 means runtime.NumCPU()).
+// Levels are strictly synchronized — level b reads only the completed level
+// b-1 and its breakpoint compression — and every cell is computed by the
+// same sequence of floating-point operations as the serial run, so the
+// result is bit-identical to workers == 1. Oracle.Cost must be safe for
+// concurrent calls.
+func ApproximateWorkers(o Oracle, B int, eps float64, workers int) (*Histogram, error) {
 	if o.Combine() != Sum {
 		return nil, fmt.Errorf("hist: Approximate requires a cumulative metric")
 	}
@@ -34,6 +46,9 @@ func Approximate(o Oracle, B int, eps float64) (*Histogram, error) {
 	if B > n {
 		B = n
 	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	delta := eps / (2 * float64(B))
 
 	apx := make([][]float64, B)
@@ -42,14 +57,8 @@ func Approximate(o Oracle, B int, eps float64) (*Histogram, error) {
 		apx[b] = make([]float64, n)
 		choice[b] = make([]int32, n)
 	}
-	for j := 0; j < n; j++ {
-		apx[0][j], _ = o.Cost(0, j)
-		choice[0][j] = -1
-	}
-
-	for b := 1; b < B; b++ {
-		bps := compressBreakpoints(apx[b-1], b-1, delta)
-		for j := 0; j < n; j++ {
+	levelEnds := func(b int, bps []int, lo, hi int) {
+		for j := lo; j < hi; j++ {
 			if j < b {
 				// not enough items for b+1 buckets; keep a consistent value
 				apx[b][j] = apx[b-1][j]
@@ -81,6 +90,18 @@ func Approximate(o Oracle, B int, eps float64) (*Histogram, error) {
 			}
 			apx[b][j] = best
 			choice[b][j] = bestI
+		}
+	}
+	for j := 0; j < n; j++ {
+		apx[0][j], _ = o.Cost(0, j)
+		choice[0][j] = -1
+	}
+	for b := 1; b < B; b++ {
+		bps := compressBreakpoints(apx[b-1], b-1, delta)
+		if workers > 1 && n >= parallelGrain {
+			parallelRanges(workers, 0, n, func(lo, hi int) { levelEnds(b, bps, lo, hi) })
+		} else {
+			levelEnds(b, bps, 0, n)
 		}
 	}
 

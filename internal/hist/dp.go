@@ -3,6 +3,8 @@ package hist
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Optimal computes the error-optimal B-bucket histogram for the oracle's
@@ -17,7 +19,13 @@ import (
 //
 // If B >= n the histogram degenerates to one bucket per item.
 func Optimal(o Oracle, B int) (*Histogram, error) {
-	t, err := RunDP(o, B)
+	return OptimalWorkers(o, B, 1)
+}
+
+// OptimalWorkers is Optimal with the DP run across a worker pool; see
+// RunDPWorkers for the parallel contract.
+func OptimalWorkers(o Oracle, B, workers int) (*Histogram, error) {
+	t, err := RunDPWorkers(o, B, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -35,8 +43,31 @@ type DPTable struct {
 	choice [][]int32
 }
 
-// RunDP executes the dynamic program of Eq. (2) up to budget Bmax.
+// parallelGrain is the minimum amount of per-end work (split-point
+// candidates, or oracle sweep calls) below which the DP stays serial for
+// that end: fanning goroutines out over tiny prefixes costs more than the
+// loop itself. A variable so the determinism tests can lower it and drive
+// small inputs through the parallel schedule.
+var parallelGrain = 2048
+
+// RunDP executes the dynamic program of Eq. (2) up to budget Bmax,
+// single-threaded. It is shorthand for RunDPWorkers(o, Bmax, 1).
 func RunDP(o Oracle, Bmax int) (*DPTable, error) {
+	return RunDPWorkers(o, Bmax, 1)
+}
+
+// RunDPWorkers executes the dynamic program of Eq. (2) up to budget Bmax
+// with the per-end cost sweeps and the min-reduction over split points
+// spread across `workers` goroutines (workers <= 0 means runtime.NumCPU()).
+//
+// The parallel schedule is deterministic: every floating-point operation is
+// performed exactly as in the serial order, and chunk results are combined
+// left to right with the same strict-< tie-breaking, so the resulting
+// DPTable (costs and back-pointers) is bit-identical to the workers == 1
+// run. Oracle.Cost must be safe for concurrent calls (all oracles in this
+// package are: Cost reads only precomputed arrays); SweepOracle sweeps are
+// inherently sequential in the bucket start and stay on one goroutine.
+func RunDPWorkers(o Oracle, Bmax, workers int) (*DPTable, error) {
 	n := o.N()
 	if n <= 0 {
 		return nil, fmt.Errorf("hist: empty domain")
@@ -46,6 +77,9 @@ func RunDP(o Oracle, Bmax int) (*DPTable, error) {
 	}
 	if Bmax > n {
 		Bmax = n
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
 	t := &DPTable{oracle: o, n: n, bmax: Bmax}
 
@@ -59,41 +93,145 @@ func RunDP(o Oracle, Bmax int) (*DPTable, error) {
 	}
 	costs := make([]float64, n)
 	reps := make([]float64, n)
+	sweeper, hasSweep := o.(SweepOracle)
+	isSum := o.Combine() == Sum
+
+	// partial[(b-1)*workers + w] is worker w's best candidate for level b at
+	// the current end; reused across ends.
+	partials := make([]dpPartial, (Bmax-1)*workers)
 
 	for e := 0; e < n; e++ {
-		costsForEnd(o, e, costs, reps)
+		if hasSweep {
+			sweeper.CostsForEnd(e, costs, reps)
+		} else if workers > 1 && e+1 >= parallelGrain {
+			parallelRanges(workers, 0, e+1, func(lo, hi int) {
+				for s := lo; s < hi; s++ {
+					costs[s], reps[s] = o.Cost(s, e)
+				}
+			})
+		} else {
+			for s := 0; s <= e; s++ {
+				costs[s], reps[s] = o.Cost(s, e)
+			}
+		}
 		t.opt[0][e] = costs[0]
 		t.choice[0][e] = -1
 		top := Bmax
 		if e+1 < top {
 			top = e + 1
 		}
-		for b := 1; b < top; b++ {
-			best := math.Inf(1)
-			bestI := int32(b - 1)
-			prev := t.opt[b-1]
-			if o.Combine() == Sum {
-				for i := b - 1; i < e; i++ {
-					if v := prev[i] + costs[i+1]; v < best {
-						best, bestI = v, int32(i)
+		if top <= 1 {
+			continue
+		}
+		if workers > 1 && (top-1)*e >= parallelGrain {
+			// Split the split-point range [0, e) into one contiguous chunk
+			// per worker; each worker reduces its chunk for every level b.
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				lo, hi := chunkBounds(w, workers, 0, e)
+				if lo >= hi {
+					for b := 1; b < top; b++ {
+						partials[(b-1)*workers+w] = dpPartial{best: math.Inf(1), bestI: -1}
 					}
+					continue
 				}
-			} else {
-				for i := b - 1; i < e; i++ {
-					v := prev[i]
-					if c := costs[i+1]; c > v {
-						v = c
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					for b := 1; b < top; b++ {
+						from := lo
+						if from < b-1 {
+							from = b - 1
+						}
+						partials[(b-1)*workers+w] = reduceSplits(t.opt[b-1], costs, from, hi, isSum)
 					}
-					if v < best {
-						best, bestI = v, int32(i)
-					}
-				}
+				}(w, lo, hi)
 			}
-			t.opt[b][e] = best
-			t.choice[b][e] = bestI
+			wg.Wait()
+			for b := 1; b < top; b++ {
+				best := math.Inf(1)
+				bestI := int32(b - 1)
+				for w := 0; w < workers; w++ {
+					if p := partials[(b-1)*workers+w]; p.bestI >= 0 && p.best < best {
+						best, bestI = p.best, p.bestI
+					}
+				}
+				t.opt[b][e] = best
+				t.choice[b][e] = bestI
+			}
+		} else {
+			for b := 1; b < top; b++ {
+				p := reduceSplits(t.opt[b-1], costs, b-1, e, isSum)
+				best, bestI := p.best, p.bestI
+				if bestI < 0 {
+					best, bestI = math.Inf(1), int32(b-1)
+				}
+				t.opt[b][e] = best
+				t.choice[b][e] = bestI
+			}
 		}
 	}
 	return t, nil
+}
+
+// dpPartial is one worker's candidate for a DP cell: the minimal combined
+// error over its chunk of split points and the split achieving it
+// (bestI < 0 when the chunk was empty).
+type dpPartial struct {
+	best  float64
+	bestI int32
+}
+
+// reduceSplits scans split points i in [from, to), pricing prev[i] extended
+// by a final bucket [i+1, e] whose cost is costs[i+1], and returns the
+// minimum. Strict < keeps the smallest minimizing i, matching the serial
+// DP's tie-breaking exactly.
+func reduceSplits(prev, costs []float64, from, to int, isSum bool) dpPartial {
+	best := math.Inf(1)
+	bestI := int32(-1)
+	if isSum {
+		for i := from; i < to; i++ {
+			if v := prev[i] + costs[i+1]; v < best {
+				best, bestI = v, int32(i)
+			}
+		}
+	} else {
+		for i := from; i < to; i++ {
+			v := prev[i]
+			if c := costs[i+1]; c > v {
+				v = c
+			}
+			if v < best {
+				best, bestI = v, int32(i)
+			}
+		}
+	}
+	return dpPartial{best: best, bestI: bestI}
+}
+
+// chunkBounds splits [lo, hi) into `parts` near-equal contiguous chunks and
+// returns the w-th.
+func chunkBounds(w, parts, lo, hi int) (int, int) {
+	span := hi - lo
+	return lo + w*span/parts, lo + (w+1)*span/parts
+}
+
+// parallelRanges runs fn over the `parts` chunks of [lo, hi) concurrently
+// and waits for all of them.
+func parallelRanges(parts, lo, hi int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		clo, chi := chunkBounds(w, parts, lo, hi)
+		if clo >= chi {
+			continue
+		}
+		wg.Add(1)
+		go func(clo, chi int) {
+			defer wg.Done()
+			fn(clo, chi)
+		}(clo, chi)
+	}
+	wg.Wait()
 }
 
 // Bmax returns the largest budget the table covers.

@@ -1,0 +1,184 @@
+package hist
+
+// White-box tests that the parallel DP schedule is bit-identical to the
+// serial one: same opt values (exact float equality) and same
+// back-pointers, for every oracle family, at parallelism 1, 2, and
+// NumCPU. Run under -race this also exercises the worker pool for data
+// races.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"probsyn/internal/metric"
+	"probsyn/internal/pdata"
+	"probsyn/internal/ptest"
+)
+
+// tablesIdentical reports whether two DP tables are bit-identical,
+// returning a description of the first mismatch.
+func tablesIdentical(t *testing.T, a, b *DPTable) {
+	t.Helper()
+	if a.n != b.n || a.bmax != b.bmax {
+		t.Fatalf("table shapes differ: (n=%d, bmax=%d) vs (n=%d, bmax=%d)", a.n, a.bmax, b.n, b.bmax)
+	}
+	for lvl := range a.opt {
+		for j := range a.opt[lvl] {
+			if a.opt[lvl][j] != b.opt[lvl][j] {
+				t.Fatalf("opt[%d][%d]: serial %v, parallel %v (not bit-identical)",
+					lvl, j, a.opt[lvl][j], b.opt[lvl][j])
+			}
+			if a.choice[lvl][j] != b.choice[lvl][j] {
+				t.Fatalf("choice[%d][%d]: serial %d, parallel %d",
+					lvl, j, a.choice[lvl][j], b.choice[lvl][j])
+			}
+		}
+	}
+}
+
+func parallelSources(rng *rand.Rand, n int) map[string]pdata.Source {
+	return map[string]pdata.Source{
+		"value": ptest.RandomValuePDF(rng, n, 3),
+		"tuple": ptest.RandomTuplePDF(rng, n, 2*n, 3),
+		"basic": ptest.RandomBasic(rng, n, 2*n),
+	}
+}
+
+// lowerGrain drops the serial-fallback threshold so that small test
+// inputs actually take the parallel code paths, restoring it afterwards.
+func lowerGrain(t *testing.T) {
+	t.Helper()
+	old := parallelGrain
+	parallelGrain = 8
+	t.Cleanup(func() { parallelGrain = old })
+}
+
+func TestRunDPWorkersBitIdentical(t *testing.T) {
+	lowerGrain(t)
+	rng := rand.New(rand.NewSource(71))
+	// With the grain lowered, ends both below and above the threshold run
+	// within one table, covering the serial fallback and both parallel
+	// phases (cost sweep and split-point reduction).
+	const n, B = 96, 9
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for srcName, src := range parallelSources(rng, n) {
+		for _, k := range []metric.Kind{metric.SSE, metric.SSEFixed, metric.SSRE,
+			metric.SAE, metric.SARE, metric.MAE, metric.MARE} {
+			o, err := NewOracle(src, k, metric.Params{C: 0.5})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", srcName, k, err)
+			}
+			serial, err := RunDPWorkers(o, B, 1)
+			if err != nil {
+				t.Fatalf("%s/%v serial: %v", srcName, k, err)
+			}
+			for _, w := range workerCounts {
+				par, err := RunDPWorkers(o, B, w)
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", srcName, k, w, err)
+				}
+				tablesIdentical(t, serial, par)
+			}
+		}
+	}
+}
+
+// The grain threshold must not change results: force tiny inputs through
+// the parallel path-selection logic at every worker count.
+func TestRunDPWorkersTinyDomains(t *testing.T) {
+	lowerGrain(t)
+	rng := rand.New(rand.NewSource(72))
+	for n := 1; n <= 6; n++ {
+		src := ptest.RandomValuePDF(rng, n, 3)
+		o := NewSSEValue(src)
+		for B := 1; B <= n+1; B++ {
+			serial, err := RunDPWorkers(o, B, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, runtime.NumCPU()} {
+				par, err := RunDPWorkers(o, B, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tablesIdentical(t, serial, par)
+			}
+		}
+	}
+}
+
+// RunDPWorkers with workers <= 0 resolves to NumCPU and must agree too.
+func TestRunDPWorkersDefaultWorkers(t *testing.T) {
+	lowerGrain(t)
+	rng := rand.New(rand.NewSource(73))
+	src := ptest.RandomTuplePDF(rng, 64, 128, 3)
+	o := NewSSETuple(src)
+	serial, err := RunDPWorkers(o, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunDPWorkers(o, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesIdentical(t, serial, par)
+}
+
+func TestApproximateWorkersBitIdentical(t *testing.T) {
+	lowerGrain(t)
+	rng := rand.New(rand.NewSource(74))
+	src := ptest.RandomValuePDF(rng, 80, 3)
+	o := NewSSEValue(src)
+	for _, eps := range []float64{0.1, 0.5} {
+		serial, err := ApproximateWorkers(o, 6, eps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, runtime.NumCPU(), 0} {
+			par, err := ApproximateWorkers(o, 6, eps, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Cost != par.Cost {
+				t.Fatalf("eps=%g workers=%d: cost %v != serial %v", eps, w, par.Cost, serial.Cost)
+			}
+			sb, pb := serial.Boundaries(), par.Boundaries()
+			if len(sb) != len(pb) {
+				t.Fatalf("eps=%g workers=%d: %d boundaries != %d", eps, w, len(pb), len(sb))
+			}
+			for i := range sb {
+				if sb[i] != pb[i] {
+					t.Fatalf("eps=%g workers=%d: boundary %d is %d, serial %d", eps, w, i, pb[i], sb[i])
+				}
+			}
+		}
+	}
+}
+
+// OptimalWorkers must agree with Optimal on the materialized histogram.
+func TestOptimalWorkersMatchesOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	src := ptest.RandomBasic(rng, 48, 80)
+	o, err := NewOracle(src, metric.SAE, metric.Params{C: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := Optimal(o, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := OptimalWorkers(o, 5, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Cost != h2.Cost || h1.B() != h2.B() {
+		t.Fatalf("parallel histogram (B=%d, cost=%v) != serial (B=%d, cost=%v)",
+			h2.B(), h2.Cost, h1.B(), h1.Cost)
+	}
+	for k := range h1.Buckets {
+		if h1.Buckets[k] != h2.Buckets[k] {
+			t.Fatalf("bucket %d: %+v != %+v", k, h2.Buckets[k], h1.Buckets[k])
+		}
+	}
+}

@@ -36,6 +36,14 @@ type Histogram struct {
 // B returns the number of buckets.
 func (h *Histogram) B() int { return len(h.Buckets) }
 
+// Terms returns the synopsis size in terms (buckets), implementing the
+// shared synopsis interface (internal/synopsis).
+func (h *Histogram) Terms() int { return len(h.Buckets) }
+
+// ErrorCost returns the histogram's expected error under the metric it was
+// built for, implementing the shared synopsis interface.
+func (h *Histogram) ErrorCost() float64 { return h.Cost }
+
 // Estimate returns the histogram's approximation ĝ_i of item i's frequency.
 func (h *Histogram) Estimate(i int) float64 {
 	k := sort.Search(len(h.Buckets), func(k int) bool { return h.Buckets[k].End >= i })

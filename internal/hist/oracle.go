@@ -16,6 +16,12 @@ const (
 // minimal expected bucket error for the inclusive item range [s, e] together
 // with the representative value achieving it. Implementations precompute
 // prefix structures so Cost runs in O(1) or O(polylog) time (§3).
+//
+// Cost must be safe for concurrent calls: RunDPWorkers and
+// ApproximateWorkers issue them from multiple goroutines. Every oracle in
+// this package satisfies this by construction — Cost only reads arrays
+// frozen at construction time. (SweepOracle.CostsForEnd may keep mutable
+// sweep state; it is always invoked from a single goroutine.)
 type Oracle interface {
 	// N returns the domain size.
 	N() int

@@ -1,0 +1,105 @@
+// Package synopsis defines the shared surface of every B-term synopsis the
+// system builds — histograms and wavelets are two instances of the same
+// idea (a compact summary minimizing expected error over possible worlds,
+// §1 of Cormode & Garofalakis) — together with a versioned binary and JSON
+// codec so synopses can be stored, shipped, and served independently of
+// the data they summarize.
+//
+// Concrete synopsis families register a Codec (one per wire-format type
+// name) at init time; Marshal picks the codec whose Match accepts the
+// value, Unmarshal dispatches on the type name recorded in the envelope.
+package synopsis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Synopsis is the common query surface of a built synopsis: point and
+// range estimation over the item domain, plus the two pieces of build
+// metadata every family shares — its size in terms and the expected error
+// it was priced at.
+type Synopsis interface {
+	// Estimate returns the synopsis's approximation of item i's frequency.
+	Estimate(i int) float64
+	// RangeSum estimates the total frequency over the inclusive item
+	// range [lo, hi] (out-of-domain ends are clamped).
+	RangeSum(lo, hi int) float64
+	// Terms returns the synopsis size in terms (buckets or retained
+	// coefficients).
+	Terms() int
+	// ErrorCost returns the expected error recorded when the synopsis was
+	// built: the DP objective value for histograms, the expected SSE or
+	// restricted-DP error for wavelets.
+	ErrorCost() float64
+}
+
+// Codec serializes one synopsis family. Name is the wire-format type name
+// (stable across releases; it is written into both envelopes). Match
+// reports whether the codec handles a given value; the Encode/Decode pairs
+// convert to and from the family's payload bytes (binary) or JSON value.
+type Codec struct {
+	Name         string
+	Match        func(Synopsis) bool
+	EncodeBinary func(Synopsis) ([]byte, error)
+	DecodeBinary func([]byte) (Synopsis, error)
+	EncodeJSON   func(Synopsis) ([]byte, error)
+	DecodeJSON   func([]byte) (Synopsis, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Codec)
+	regOrder []string
+)
+
+// Register installs a codec under its type name. It panics on a duplicate
+// or incomplete codec — registration happens at init time, so a bad codec
+// is a programming error, not a runtime condition.
+func Register(c Codec) {
+	if c.Name == "" || c.Match == nil || c.EncodeBinary == nil || c.DecodeBinary == nil ||
+		c.EncodeJSON == nil || c.DecodeJSON == nil {
+		panic(fmt.Sprintf("synopsis: incomplete codec %q", c.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[c.Name]; dup {
+		panic(fmt.Sprintf("synopsis: duplicate codec %q", c.Name))
+	}
+	registry[c.Name] = c
+	regOrder = append(regOrder, c.Name)
+}
+
+// Registered returns the registered type names, sorted.
+func Registered() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]string(nil), regOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// codecFor returns the first registered codec (in registration order)
+// whose Match accepts s.
+func codecFor(s Synopsis) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, name := range regOrder {
+		if c := registry[name]; c.Match(s) {
+			return c, nil
+		}
+	}
+	return Codec{}, fmt.Errorf("synopsis: no codec registered for %T", s)
+}
+
+// codecByName returns the codec registered under name.
+func codecByName(name string) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		return Codec{}, fmt.Errorf("synopsis: unknown synopsis type %q", name)
+	}
+	return c, nil
+}

@@ -169,8 +169,10 @@ func BuildRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int)
 		if B >= 1 && pe.Err(0, cvals[0]) <= errNo {
 			syn.Indices = []int{0}
 			syn.Values = []float64{cvals[0]}
-			return syn, pe.Err(0, cvals[0]), nil
+			syn.Cost = pe.Err(0, cvals[0])
+			return syn, syn.Cost, nil
 		}
+		syn.Cost = errNo
 		return syn, errNo, nil
 	}
 
@@ -190,6 +192,7 @@ func BuildRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int)
 		d.backtrack(1, 0, 0, 1, B, &keep)
 	}
 	syn := fromDense(cvals, keep)
+	syn.Cost = best
 	return syn, best, nil
 }
 

@@ -74,6 +74,7 @@ func BuildSSE(src pdata.Source, B int) (*Synopsis, *SSEReport, error) {
 	}
 	rep.VarianceFloor = acc.Value()
 	rep.ExpectedSSE = rep.VarianceFloor + rep.DroppedMuSq()
+	syn.Cost = rep.ExpectedSSE
 	return syn, rep, nil
 }
 

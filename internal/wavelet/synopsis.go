@@ -17,10 +17,22 @@ type Synopsis struct {
 	N       int
 	Indices []int     // sorted ascending
 	Values  []float64 // unnormalized coefficient values, parallel to Indices
+	// Cost is the synopsis's expected error under the objective it was
+	// built for (expected SSE for BuildSSE, the restricted/unrestricted
+	// DP's metric otherwise). Zero for hand-assembled synopses.
+	Cost float64
 }
 
 // B returns the number of retained coefficients.
 func (s *Synopsis) B() int { return len(s.Indices) }
+
+// Terms returns the synopsis size in terms (retained coefficients),
+// implementing the shared synopsis interface (internal/synopsis).
+func (s *Synopsis) Terms() int { return len(s.Indices) }
+
+// ErrorCost returns the expected error recorded at build time,
+// implementing the shared synopsis interface.
+func (s *Synopsis) ErrorCost() float64 { return s.Cost }
 
 // Validate checks shape invariants.
 func (s *Synopsis) Validate() error {

@@ -69,6 +69,7 @@ func BuildUnrestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q
 		if !math.IsNaN(bestV) {
 			syn.Indices, syn.Values = []int{0}, []float64{bestV}
 		}
+		syn.Cost = best
 		return syn, best, nil
 	}
 
@@ -112,6 +113,7 @@ func BuildUnrestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q
 			}
 		}
 	}
+	syn.Cost = best
 	return syn, best, nil
 }
 

@@ -21,9 +21,17 @@
 //	h, _ := probsyn.OptimalHistogram(data, probsyn.SSE, probsyn.DefaultParams(), 3)
 //	fmt.Println(h.Estimate(4), h.Cost)
 //
+// Both families implement the shared Synopsis interface (point estimates,
+// range sums, term count, expected error) and serialize through a
+// versioned binary/JSON codec (MarshalSynopsis, UnmarshalSynopsis). The
+// unified constructor Build selects family, exact vs approximate DP,
+// workload weighting, and DP parallelism through functional options; the
+// named constructors below are thin wrappers over it.
+//
 // All construction functions accept any of the three data models through
-// the Source interface. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+// the Source interface. See DESIGN.md for the system inventory, the
+// synopsis layer, and the reproduction of the paper's evaluation
+// (cmd/experiments).
 package probsyn
 
 import (
@@ -103,19 +111,24 @@ func Deterministic(freqs []float64) *ValuePDF { return pdata.Deterministic(freqs
 
 // OptimalHistogram builds the error-optimal B-bucket histogram for the
 // metric over any probabilistic source (Theorems 1-4 and 6 of the paper).
+// It is shorthand for Build(src, m, B, WithParams(p)).
 func OptimalHistogram(src Source, m Metric, p Params, B int) (*Histogram, error) {
-	return hist.Build(src, m, p, B)
+	s, err := Build(src, m, B, WithParams(p))
+	if err != nil {
+		return nil, err
+	}
+	return s.(*Histogram), nil
 }
 
 // ApproxHistogram builds a (1+eps)-approximate B-bucket histogram for a
 // cumulative metric (Theorem 5), trading accuracy for a much smaller
-// search.
+// search. It is shorthand for Build(src, m, B, WithParams(p), WithEps(eps)).
 func ApproxHistogram(src Source, m Metric, p Params, B int, eps float64) (*Histogram, error) {
-	o, err := hist.NewOracle(src, m, p)
+	s, err := Build(src, m, B, WithParams(p), WithEps(eps))
 	if err != nil {
 		return nil, err
 	}
-	return hist.Approximate(o, B, eps)
+	return s.(*Histogram), nil
 }
 
 // EquiDepthHistogram builds the B-bucket equi-depth histogram over expected
@@ -158,13 +171,14 @@ func UnrestrictedWavelet(src Source, m Metric, p Params, B, q int) (*WaveletSyno
 // query-workload-weighted expected squared error: weights[i] is the
 // access frequency of point queries on item i (the non-uniform-workload
 // extension the paper's concluding remarks pose). Uniform weights reduce
-// to the SSEFixed objective.
+// to the SSEFixed objective. It is shorthand for
+// Build(src, SSEFixed, B, WithWorkloadWeights(weights)).
 func WorkloadHistogram(src Source, weights []float64, B int) (*Histogram, error) {
-	o, err := hist.NewWorkloadSSE(src, weights)
+	s, err := Build(src, SSEFixed, B, WithWorkloadWeights(weights))
 	if err != nil {
 		return nil, err
 	}
-	return hist.Optimal(o, B)
+	return s.(*Histogram), nil
 }
 
 // ExpectedSSE returns the exact expected sum-squared error of an arbitrary

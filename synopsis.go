@@ -1,0 +1,45 @@
+package probsyn
+
+import (
+	"io"
+
+	"probsyn/internal/synopsis"
+)
+
+// Synopsis is the shared query surface of every synopsis family —
+// histograms and wavelets both implement it — so callers can estimate
+// frequencies, answer range sums, and persist a synopsis without caring
+// which family produced it. See internal/synopsis for the interface and
+// codec details.
+type Synopsis = synopsis.Synopsis
+
+// MarshalSynopsis serializes a synopsis in the versioned binary envelope
+// ("PSYN" magic, type-tagged, CRC-checked payload).
+func MarshalSynopsis(s Synopsis) ([]byte, error) { return synopsis.Marshal(s) }
+
+// MarshalSynopsisJSON serializes a synopsis in the versioned JSON envelope.
+func MarshalSynopsisJSON(s Synopsis) ([]byte, error) { return synopsis.MarshalJSON(s) }
+
+// UnmarshalSynopsis deserializes a synopsis from either envelope (binary
+// or JSON, sniffed), returning the registered concrete family behind the
+// Synopsis interface.
+func UnmarshalSynopsis(data []byte) (Synopsis, error) { return synopsis.Unmarshal(data) }
+
+// WriteSynopsis writes a synopsis to w in the binary envelope.
+func WriteSynopsis(w io.Writer, s Synopsis) error {
+	data, err := synopsis.Marshal(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadSynopsis reads one synopsis (either envelope) from r.
+func ReadSynopsis(r io.Reader) (Synopsis, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return synopsis.Unmarshal(data)
+}
