@@ -10,6 +10,7 @@
 //	BenchmarkFig3a      DP scaling in n at fixed B (Figure 3a)
 //	BenchmarkFig3b      DP scaling in B at fixed n (Figure 3b)
 //	BenchmarkFig4a/b    wavelet error% sweeps (Figure 4)
+//	BenchmarkWavelet*Build  restricted/unrestricted coefficient-tree DP
 //	BenchmarkAblate*    exact-vs-closed-form tuple SSE; exact-vs-approx DP
 package probsyn_test
 
@@ -198,6 +199,54 @@ func BenchmarkWaveletRestrictedSAE(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- wavelet build benchmarks (bottom-up tree DP on the engine) ---------------
+
+// benchWaveletBuild sweeps the coefficient-tree DP over the sizes where
+// production wavelet builds live. The parallel schedule is deterministic
+// (bit-identical synopses), so the worker axis measures pure scheduling
+// speedup, and the workers=1 rows track the serial hot path the bottom-up
+// rewrite optimizes (the seed's recursive map-memoized DP was ~10x slower
+// at n=1024, B=16).
+func benchWaveletBuild(b *testing.B, build func(src pdata.Source, B, workers int) error) {
+	b.Helper()
+	for _, n := range []int{1024, 4096} {
+		src := benchLinkage(n)
+		for _, B := range []int{16, 64} {
+			for _, workers := range benchWorkers() {
+				name := fmt.Sprintf("n=%d/B=%d/workers=%d", n, B, workers)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if err := build(src, B, workers); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkWaveletRestrictedBuild: the restricted DP of Theorem 8 under
+// SAE (every retained coefficient pinned to its expected value).
+func BenchmarkWaveletRestrictedBuild(b *testing.B) {
+	benchWaveletBuild(b, func(src pdata.Source, B, workers int) error {
+		_, _, err := wavelet.BuildRestrictedWorkers(src, metric.SAE, metric.Params{C: 0.5}, B, workers)
+		return err
+	})
+}
+
+// BenchmarkWaveletUnrestrictedBuild: the same sweep through the
+// unrestricted path at q=0, where the candidate grids degenerate to the
+// expected values — larger q is exponential in tree depth and is not
+// benchmark material. This tracks the unrestricted plumbing at the same
+// state-space size as the restricted DP.
+func BenchmarkWaveletUnrestrictedBuild(b *testing.B) {
+	benchWaveletBuild(b, func(src pdata.Source, B, workers int) error {
+		_, _, err := wavelet.BuildUnrestrictedWorkers(src, metric.SAE, metric.Params{C: 0.5}, B, 0, workers)
+		return err
+	})
 }
 
 // --- parallel DP engine -------------------------------------------------------

@@ -26,10 +26,13 @@ func WithParams(p Params) BuildOption {
 	return func(c *buildConfig) { c.params = p }
 }
 
-// WithParallelism spreads the histogram DP's cost sweeps and split-point
-// reductions across the given number of worker goroutines; values <= 0
-// mean one worker per CPU. The parallel schedule is deterministic: results
-// are bit-identical to a single-threaded build.
+// WithParallelism spreads the synopsis DP across the given number of
+// worker goroutines — the histogram DP's cost sweeps and split-point
+// reductions, and the wavelet coefficient-tree DP's level sweeps; values
+// <= 0 mean one worker per CPU. The parallel schedule is deterministic:
+// results are bit-identical to a single-threaded build. (The SSE-optimal
+// wavelet build is a greedy selection with no DP; it ignores the
+// setting.)
 func WithParallelism(workers int) BuildOption {
 	return func(c *buildConfig) {
 		if workers <= 0 {
@@ -123,7 +126,7 @@ func buildWavelet(src Source, m Metric, B int, cfg *buildConfig) (*WaveletSynops
 		syn, _, err := wavelet.BuildSSE(src, B)
 		return syn, err
 	}
-	syn, _, err := wavelet.BuildRestricted(src, m, cfg.params, B)
+	syn, _, err := wavelet.BuildRestrictedWorkers(src, m, cfg.params, B, cfg.parallelism)
 	return syn, err
 }
 

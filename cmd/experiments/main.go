@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [flags] fig2a|fig2b|fig2c|fig2d|fig2e|fig2f|
-//	                    fig3a|fig3b|fig4a|fig4b|
+//	                    fig3a|fig3b|fig4a|fig4b|wavelet-dp|
 //	                    ablate-straddle|ablate-approx|all
 package main
 
@@ -32,7 +32,7 @@ var (
 	flagSamples  = flag.Int("samples", 3, "sampled-world repetitions")
 	flagPoints   = flag.Int("points", 10, "budgets per series")
 	flagFull     = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
-	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines (<= 0: one per CPU); results are identical at any setting")
+	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines for the histogram and wavelet DPs (<= 0: one per CPU); results are identical at any setting")
 )
 
 // workers resolves -parallelism to an explicit positive worker count, so
@@ -48,7 +48,7 @@ func workers() int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <figure>; figures: fig2a..fig2f fig3a fig3b fig4a fig4b ablate-straddle ablate-approx all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <figure>; figures: fig2a..fig2f fig3a fig3b fig4a fig4b wavelet-dp ablate-straddle ablate-approx all")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -63,12 +63,13 @@ func main() {
 		"fig3b":           fig3b,
 		"fig4a":           fig4a,
 		"fig4b":           fig4b,
+		"wavelet-dp":      waveletDP,
 		"ablate-straddle": ablateStraddle,
 		"ablate-approx":   ablateApprox,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f",
-			"fig3a", "fig3b", "fig4a", "fig4b", "ablate-straddle", "ablate-approx"} {
+			"fig3a", "fig3b", "fig4a", "fig4b", "wavelet-dp", "ablate-straddle", "ablate-approx"} {
 			runners[name]()
 			fmt.Println()
 		}
@@ -243,6 +244,34 @@ func fig4(src pdata.Source, n, bmax int, title string) {
 			row = append(row, fmt.Sprintf("%.3f", s.Points[i].ErrorPct))
 		}
 		fmt.Println(strings.Join(row, ","))
+	}
+}
+
+// waveletDP: restricted wavelet DP wall time and cost vs coefficient
+// budget — the wavelet sibling of fig3a/fig3b, exercising the bottom-up
+// coefficient-tree DP on the shared engine (it honors -parallelism
+// exactly like the histogram DPs; the synopsis is bit-identical at any
+// worker count).
+func waveletDP() {
+	n := 512
+	if *flagFull {
+		n = 2048
+	}
+	rng := rand.New(rand.NewSource(*flagSeed))
+	src := gen.MystiQLinkage(rng, gen.DefaultMystiQ(n))
+	exp := &eval.WaveletDPExperiment{
+		Source:      src,
+		Metric:      metric.SAE,
+		Params:      metric.Params{C: 0.5},
+		Budgets:     budgets(n/16, *flagPoints),
+		Parallelism: workers(),
+	}
+	points, err := exp.Run()
+	check(err)
+	fmt.Printf("# wavelet-dp: restricted SAE wavelet DP time and cost vs coefficients; n=%d, m=%d, workers=%d\n", n, src.M(), workers())
+	fmt.Println("coefficients,terms,seconds,cost")
+	for _, pt := range points {
+		fmt.Printf("%d,%d,%.3f,%.6g\n", pt.B, pt.Terms, pt.Seconds, pt.Cost)
 	}
 }
 

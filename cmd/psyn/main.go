@@ -7,133 +7,171 @@
 //	psyn -input data.pd -metric SSE -buckets 20
 //	psyn -input data.pd -metric SARE -c 1.0 -buckets 50 -approx 0.25
 //	psyn -input data.pd -metric SSE -buckets 64 -parallelism 0 -out h.syn
-//	psyn -input data.pd -wavelet -coeffs 32 -out w.json
+//	psyn -input data.pd -wavelet -metric SAE -coeffs 32 -parallelism 0 -out w.json
 //	psyn -in h.syn
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"probsyn"
 )
 
-var (
-	flagInput    = flag.String("input", "", "dataset file (required unless -in is given)")
-	flagMetric   = flag.String("metric", "SSE", "error metric: SSE, SSE-fixed, SSRE, SAE, SARE, MAE, MARE")
-	flagC        = flag.Float64("c", 0.5, "sanity constant for relative-error metrics")
-	flagBuckets  = flag.Int("buckets", 16, "histogram bucket budget")
-	flagApprox   = flag.Float64("approx", 0, "if > 0, build a (1+eps)-approximate histogram with this eps")
-	flagEqui     = flag.Bool("equidepth", false, "build the equi-depth heuristic instead of the optimal histogram")
-	flagWavelet  = flag.Bool("wavelet", false, "build a wavelet synopsis instead of a histogram")
-	flagCoeffs   = flag.Int("coeffs", 16, "wavelet coefficient budget")
-	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines (<= 0: one per CPU); output is identical at any setting")
-	flagOut      = flag.String("out", "", "save the built synopsis to this file (.json: JSON envelope, otherwise binary)")
-	flagIn       = flag.String("in", "", "load a saved synopsis instead of building one")
-)
+// errParse marks a flag-parse failure the FlagSet has already reported to
+// stderr, so main neither reprints it nor masks the usage text.
+var errParse = errors.New("flag parse error")
 
 func main() {
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errParse) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "psyn:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against args, writing reports to stdout. It is the
+// whole command behind a testable seam: main only wires OS state.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("psyn", flag.ContinueOnError)
+	var (
+		flagInput    = fs.String("input", "", "dataset file (required unless -in is given)")
+		flagMetric   = fs.String("metric", "SSE", "error metric: SSE, SSE-fixed, SSRE, SAE, SARE, MAE, MARE")
+		flagC        = fs.Float64("c", 0.5, "sanity constant for relative-error metrics")
+		flagBuckets  = fs.Int("buckets", 16, "histogram bucket budget")
+		flagApprox   = fs.Float64("approx", 0, "if > 0, build a (1+eps)-approximate histogram with this eps")
+		flagEqui     = fs.Bool("equidepth", false, "build the equi-depth heuristic instead of the optimal histogram")
+		flagWavelet  = fs.Bool("wavelet", false, "build a wavelet synopsis instead of a histogram")
+		flagCoeffs   = fs.Int("coeffs", 16, "wavelet coefficient budget")
+		flagParallel = fs.Int("parallelism", 1, "DP worker goroutines for histogram and non-SSE wavelet builds (<= 0: one per CPU); output is identical at any setting (the SSE wavelet build is greedy and ignores it)")
+		flagOut      = fs.String("out", "", "save the built synopsis to this file (.json: JSON envelope, otherwise binary)")
+		flagIn       = fs.String("in", "", "load a saved synopsis instead of building one")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return errParse
+	}
 	if *flagIn != "" {
-		loadSynopsis(*flagIn)
-		return
+		return loadSynopsis(stdout, *flagIn)
 	}
 	if *flagInput == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("missing -input (or -in)")
 	}
 	f, err := os.Open(*flagInput)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 	defer f.Close()
 	src, err := probsyn.ReadDataset(f)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
 	m, err := probsyn.ParseMetric(*flagMetric)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 	p := probsyn.Params{C: *flagC}
+	opts := []probsyn.BuildOption{probsyn.WithParams(p), probsyn.WithParallelism(*flagParallel)}
 
 	var syn probsyn.Synopsis
 	if *flagWavelet {
-		syn = buildWavelet(src, m, p)
+		syn, err = buildWavelet(stdout, src, m, *flagCoeffs, opts)
 	} else {
-		syn = buildHistogram(src, m, p)
+		syn, err = buildHistogram(stdout, src, m, p, *flagBuckets, *flagApprox, *flagEqui, opts)
+	}
+	if err != nil {
+		return err
 	}
 	if *flagOut != "" {
-		saveSynopsis(*flagOut, syn)
+		return saveSynopsis(stdout, *flagOut, syn)
 	}
+	return nil
 }
 
-func buildOptions(p probsyn.Params, extra ...probsyn.BuildOption) []probsyn.BuildOption {
-	opts := []probsyn.BuildOption{probsyn.WithParams(p), probsyn.WithParallelism(*flagParallel)}
-	return append(opts, extra...)
-}
-
-func buildHistogram(src probsyn.Source, m probsyn.Metric, p probsyn.Params) probsyn.Synopsis {
+func buildHistogram(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.Params, buckets int, approx float64, equi bool, opts []probsyn.BuildOption) (probsyn.Synopsis, error) {
 	var (
 		h   *probsyn.Histogram
 		err error
 		how string
 	)
 	switch {
-	case *flagEqui:
-		h, err = probsyn.EquiDepthHistogram(src, m, p, *flagBuckets)
+	case equi:
+		h, err = probsyn.EquiDepthHistogram(src, m, p, buckets)
 		how = "equi-depth"
-	case *flagApprox > 0:
+	case approx > 0:
 		var s probsyn.Synopsis
-		s, err = probsyn.Build(src, m, *flagBuckets, buildOptions(p, probsyn.WithEps(*flagApprox))...)
+		s, err = probsyn.Build(src, m, buckets, append(opts, probsyn.WithEps(approx))...)
 		if err == nil {
 			h = s.(*probsyn.Histogram)
 		}
-		how = fmt.Sprintf("(1+%g)-approximate", *flagApprox)
+		how = fmt.Sprintf("(1+%g)-approximate", approx)
 	default:
 		var s probsyn.Synopsis
-		s, err = probsyn.Build(src, m, *flagBuckets, buildOptions(p)...)
+		s, err = probsyn.Build(src, m, buckets, opts...)
 		if err == nil {
 			h = s.(*probsyn.Histogram)
 		}
 		how = "optimal"
 	}
-	fatal(err)
-	fmt.Printf("%s %v histogram over n=%d (m=%d pairs): %d buckets, expected error %.6g\n",
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "%s %v histogram over n=%d (m=%d pairs): %d buckets, expected error %.6g\n",
 		how, m, src.Domain(), src.M(), h.B(), h.Cost)
-	fmt.Println("start,end,width,representative,bucket_cost")
+	fmt.Fprintln(stdout, "start,end,width,representative,bucket_cost")
 	for _, b := range h.Buckets {
-		fmt.Printf("%d,%d,%d,%.6g,%.6g\n", b.Start, b.End, b.Width(), b.Rep, b.Cost)
+		fmt.Fprintf(stdout, "%d,%d,%d,%.6g,%.6g\n", b.Start, b.End, b.Width(), b.Rep, b.Cost)
 	}
-	return h
+	return h, nil
 }
 
-func buildWavelet(src probsyn.Source, m probsyn.Metric, p probsyn.Params) probsyn.Synopsis {
+func buildWavelet(stdout io.Writer, src probsyn.Source, m probsyn.Metric, coeffs int, opts []probsyn.BuildOption) (probsyn.Synopsis, error) {
 	if m == probsyn.SSE || m == probsyn.SSEFixed {
-		syn, rep, err := probsyn.SSEWavelet(src, *flagCoeffs)
-		fatal(err)
-		fmt.Printf("SSE-optimal wavelet synopsis over n=%d (padded %d): %d coefficients\n",
+		syn, rep, err := probsyn.SSEWavelet(src, coeffs)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "SSE-optimal wavelet synopsis over n=%d (padded %d): %d coefficients\n",
 			src.Domain(), syn.N, syn.B())
-		fmt.Printf("expected SSE %.6g (irreducible variance %.6g, dropped energy %.6g = %.2f%%)\n",
+		fmt.Fprintf(stdout, "expected SSE %.6g (irreducible variance %.6g, dropped energy %.6g = %.2f%%)\n",
 			rep.ExpectedSSE, rep.VarianceFloor, rep.DroppedMuSq(), rep.ErrorPercent())
-		printCoeffs(syn)
-		return syn
+		printCoeffs(stdout, syn)
+		return syn, nil
 	}
-	syn, cost, err := probsyn.RestrictedWavelet(src, m, p, *flagCoeffs)
-	fatal(err)
-	fmt.Printf("restricted %v wavelet synopsis over n=%d (padded %d): %d coefficients, expected error %.6g\n",
-		m, src.Domain(), syn.N, syn.B(), cost)
-	printCoeffs(syn)
-	return syn
+	// Non-SSE metrics run the restricted coefficient-tree DP through the
+	// unified constructor, so -parallelism applies here exactly as it does
+	// to histogram builds.
+	s, err := probsyn.Build(src, m, coeffs, append(opts, probsyn.WithWavelet())...)
+	if err != nil {
+		return nil, err
+	}
+	syn := s.(*probsyn.WaveletSynopsis)
+	fmt.Fprintf(stdout, "restricted %v wavelet synopsis over n=%d (padded %d): %d coefficients, expected error %.6g\n",
+		m, src.Domain(), syn.N, syn.B(), syn.Cost)
+	printCoeffs(stdout, syn)
+	return syn, nil
 }
 
-func printCoeffs(syn *probsyn.WaveletSynopsis) {
-	fmt.Println("index,value")
+func printCoeffs(stdout io.Writer, syn *probsyn.WaveletSynopsis) {
+	fmt.Fprintln(stdout, "index,value")
 	for k, idx := range syn.Indices {
-		fmt.Printf("%d,%.6g\n", idx, syn.Values[k])
+		fmt.Fprintf(stdout, "%d,%.6g\n", idx, syn.Values[k])
 	}
 }
 
 // saveSynopsis writes the synopsis through the versioned codec: JSON when
 // the path ends in .json, the binary envelope otherwise.
-func saveSynopsis(path string, syn probsyn.Synopsis) {
+func saveSynopsis(stdout io.Writer, path string, syn probsyn.Synopsis) error {
 	var (
 		data []byte
 		err  error
@@ -143,35 +181,38 @@ func saveSynopsis(path string, syn probsyn.Synopsis) {
 	} else {
 		data, err = probsyn.MarshalSynopsis(syn)
 	}
-	fatal(err)
-	fatal(os.WriteFile(path, data, 0o644))
-	fmt.Printf("saved %d-term synopsis to %s (%d bytes)\n", syn.Terms(), path, len(data))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "saved %d-term synopsis to %s (%d bytes)\n", syn.Terms(), path, len(data))
+	return nil
 }
 
 // loadSynopsis reads a saved synopsis (either envelope) and summarizes it.
-func loadSynopsis(path string) {
+func loadSynopsis(stdout io.Writer, path string) error {
 	data, err := os.ReadFile(path)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 	syn, err := probsyn.UnmarshalSynopsis(data)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 	switch s := syn.(type) {
 	case *probsyn.Histogram:
-		fmt.Printf("histogram synopsis: n=%d, %d buckets, expected error %.6g\n", s.N, s.Terms(), s.ErrorCost())
-		fmt.Println("start,end,width,representative,bucket_cost")
+		fmt.Fprintf(stdout, "histogram synopsis: n=%d, %d buckets, expected error %.6g\n", s.N, s.Terms(), s.ErrorCost())
+		fmt.Fprintln(stdout, "start,end,width,representative,bucket_cost")
 		for _, b := range s.Buckets {
-			fmt.Printf("%d,%d,%d,%.6g,%.6g\n", b.Start, b.End, b.Width(), b.Rep, b.Cost)
+			fmt.Fprintf(stdout, "%d,%d,%d,%.6g,%.6g\n", b.Start, b.End, b.Width(), b.Rep, b.Cost)
 		}
 	case *probsyn.WaveletSynopsis:
-		fmt.Printf("wavelet synopsis: n=%d (padded), %d coefficients, expected error %.6g\n", s.N, s.Terms(), s.ErrorCost())
-		printCoeffs(s)
+		fmt.Fprintf(stdout, "wavelet synopsis: n=%d (padded), %d coefficients, expected error %.6g\n", s.N, s.Terms(), s.ErrorCost())
+		printCoeffs(stdout, s)
 	default:
-		fmt.Printf("synopsis: %d terms, expected error %.6g\n", syn.Terms(), syn.ErrorCost())
+		fmt.Fprintf(stdout, "synopsis: %d terms, expected error %.6g\n", syn.Terms(), syn.ErrorCost())
 	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "psyn:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probsyn"
+	"probsyn/internal/gen"
+)
+
+// writeDataset materializes a small generated dataset in the probsyn text
+// format and returns its path.
+func writeDataset(t *testing.T, dir string) (string, probsyn.Source) {
+	t.Helper()
+	src := gen.MystiQLinkage(rand.New(rand.NewSource(7)), gen.DefaultMystiQ(64))
+	path := filepath.Join(dir, "data.pd")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probsyn.WriteDataset(f, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, src
+}
+
+// TestRunRoundTrip drives the CLI end to end for both synopsis families
+// and both codec envelopes: build with -out, reload with -in, and assert
+// the persisted synopsis answers Estimate and ErrorCost exactly like the
+// synopsis the same build produces in-process.
+func TestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dataset, src := writeDataset(t, dir)
+
+	cases := []struct {
+		name    string
+		file    string
+		loadTag string
+		args    []string
+		ref     func() (probsyn.Synopsis, error)
+	}{
+		{
+			name: "histogram-binary", file: "h.syn", loadTag: "histogram synopsis",
+			args: []string{"-input", dataset, "-metric", "SSE", "-buckets", "8", "-parallelism", "2"},
+			ref: func() (probsyn.Synopsis, error) {
+				return probsyn.Build(src, probsyn.SSE, 8, probsyn.WithParallelism(2))
+			},
+		},
+		{
+			name: "histogram-json", file: "h.json", loadTag: "histogram synopsis",
+			args: []string{"-input", dataset, "-metric", "SSE", "-buckets", "8"},
+			ref: func() (probsyn.Synopsis, error) {
+				return probsyn.Build(src, probsyn.SSE, 8)
+			},
+		},
+		{
+			name: "wavelet-binary", file: "w.syn", loadTag: "wavelet synopsis",
+			args: []string{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "8", "-parallelism", "2"},
+			ref: func() (probsyn.Synopsis, error) {
+				return probsyn.Build(src, probsyn.SAE, 8, probsyn.WithWavelet(), probsyn.WithParallelism(2))
+			},
+		},
+		{
+			name: "wavelet-json", file: "w.json", loadTag: "wavelet synopsis",
+			args: []string{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "8"},
+			ref: func() (probsyn.Synopsis, error) {
+				return probsyn.Build(src, probsyn.SAE, 8, probsyn.WithWavelet())
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := filepath.Join(dir, tc.file)
+			var buildOut bytes.Buffer
+			if err := run(append(tc.args, "-out", out), &buildOut); err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if !strings.Contains(buildOut.String(), "saved") {
+				t.Fatalf("build output missing save line:\n%s", buildOut.String())
+			}
+
+			var loadOut bytes.Buffer
+			if err := run([]string{"-in", out}, &loadOut); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if !strings.Contains(loadOut.String(), tc.loadTag) {
+				t.Fatalf("load output missing %q:\n%s", tc.loadTag, loadOut.String())
+			}
+
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := probsyn.UnmarshalSynopsis(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := tc.ref()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Terms() != ref.Terms() {
+				t.Fatalf("loaded %d terms, built %d", loaded.Terms(), ref.Terms())
+			}
+			if got, want := loaded.ErrorCost(), ref.ErrorCost(); got != want && math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("loaded ErrorCost %v, built %v", got, want)
+			}
+			for i := 0; i < src.Domain(); i++ {
+				if got, want := loaded.Estimate(i), ref.Estimate(i); got != want && math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+					t.Fatalf("Estimate(%d): loaded %v, built %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+}
+
+func TestRunUnknownFlagIsParseError(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bogus"}, &out)
+	if !errors.Is(err, errParse) {
+		t.Fatalf("unknown flag returned %v, want errParse", err)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("run with no -input and no -in succeeded")
+	}
+}
+
+func TestRunRejectsUnknownMetric(t *testing.T) {
+	dir := t.TempDir()
+	dataset, _ := writeDataset(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{"-input", dataset, "-metric", "XXX"}, &out); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}

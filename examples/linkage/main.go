@@ -67,10 +67,16 @@ func main() {
 	}
 	fmt.Printf("\n%d-term SSE wavelet: captures %.2f%% of reducible energy\n",
 		syn.B(), 100-rep.ErrorPercent())
-	rsyn, rcost, err := probsyn.RestrictedWavelet(links, probsyn.SAE, probsyn.Params{C: 0.5}, 12)
+	// The restricted DP runs on the shared execution engine: with
+	// WithParallelism its level sweeps use every core, and the synopsis is
+	// bit-identical to a serial build.
+	rs, err := probsyn.Build(links, probsyn.SAE, 12,
+		probsyn.WithParams(probsyn.Params{C: 0.5}),
+		probsyn.WithWavelet(), probsyn.WithParallelism(0))
 	if err != nil {
 		panic(err)
 	}
+	rsyn := rs.(*probsyn.WaveletSynopsis)
 	fmt.Printf("12-term restricted SAE wavelet: expected error %.2f, retained indices %v\n",
-		rcost, rsyn.Indices)
+		rsyn.Cost, rsyn.Indices)
 }

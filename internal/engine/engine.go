@@ -1,0 +1,159 @@
+// Package engine is the shared parallel execution layer under every
+// synopsis family's dynamic program. It owns the scheduling decisions the
+// DPs have in common — when to fan work out, how to cut an index range
+// into per-worker chunks, and how to reduce per-chunk minima back into a
+// single deterministic answer — so that histogram and wavelet builds run
+// on one worker-pool discipline instead of re-implementing it per family.
+//
+// The central contract is determinism: every dispatch partitions its index
+// range into contiguous chunks whose per-element work is performed in the
+// same order as a serial loop, and argmin reductions combine chunk results
+// left to right with strict <, so any result produced through the engine
+// is bit-identical at every worker count. Clients keep that promise by
+// writing only to slots derived from their own chunk (MapChunks) or by
+// returning pure per-chunk candidates (ReduceMin).
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// DefaultGrain is the minimum number of unit operations a dispatch must
+// contain before it fans out: fanning goroutines out over tiny ranges
+// costs more than the loop itself.
+const DefaultGrain = 2048
+
+// Options configure a Pool.
+type Options struct {
+	// Workers is the number of worker goroutines; <= 0 means one per CPU.
+	Workers int
+	// Grain is the minimum work estimate (unit operations) below which a
+	// dispatch stays serial; <= 0 means DefaultGrain. Tests lower it to
+	// push small inputs through the parallel schedule — it is an Options
+	// field, not a package global, so concurrent tests cannot race on it.
+	Grain int
+}
+
+// Pool executes chunked sweeps and deterministic min-reductions. A Pool is
+// immutable after New and safe for concurrent use; it holds no goroutines
+// between dispatches.
+type Pool struct {
+	workers int
+	grain   int
+}
+
+// New returns a pool for the given options (zero value: NumCPU workers,
+// DefaultGrain).
+func New(o Options) *Pool {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	g := o.Grain
+	if g <= 0 {
+		g = DefaultGrain
+	}
+	return &Pool{workers: w, grain: g}
+}
+
+// Serial returns a single-worker pool: every dispatch runs inline.
+func Serial() *Pool { return New(Options{Workers: 1}) }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Chunks returns how many chunks a dispatch with the given total work
+// estimate fans out to: 1 when the pool is serial or the work is below the
+// grain, the worker count otherwise.
+func (p *Pool) Chunks(work int) int {
+	if p == nil || p.workers <= 1 || work < p.grain {
+		return 1
+	}
+	return p.workers
+}
+
+// MapChunks splits [lo, hi) into Chunks(work) contiguous near-equal chunks
+// and runs fn(w, clo, chi) on each, concurrently when there is more than
+// one. Chunk indices w are dense in [0, Chunks(work)); empty chunks
+// (possible when hi-lo < chunks) are still invoked, with clo >= chi, so
+// chunk-indexed result slots are always written. fn must only write state
+// derived from its own chunk index or range.
+func (p *Pool) MapChunks(lo, hi, work int, fn func(w, clo, chi int)) {
+	parts := p.Chunks(work)
+	if parts == 1 {
+		fn(0, lo, hi)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		clo, chi := ChunkBounds(w, parts, lo, hi)
+		if clo >= chi {
+			fn(w, clo, chi)
+			continue
+		}
+		wg.Add(1)
+		go func(w, clo, chi int) {
+			defer wg.Done()
+			fn(w, clo, chi)
+		}(w, clo, chi)
+	}
+	wg.Wait()
+}
+
+// MinPartial is one chunk's candidate for an argmin reduction: the minimal
+// value over the chunk and the index achieving it. Arg < 0 marks an empty
+// chunk (the identity of CombineMin).
+type MinPartial struct {
+	Value float64
+	Arg   int32
+}
+
+// EmptyMin returns the identity candidate: +Inf value, no index.
+func EmptyMin() MinPartial { return MinPartial{Value: math.Inf(1), Arg: -1} }
+
+// CombineMin folds per-chunk candidates left to right with strict <, so
+// on ties the earliest chunk — and therefore the smallest index, exactly
+// as in a serial left-to-right scan — wins.
+func CombineMin(parts []MinPartial) MinPartial {
+	best := EmptyMin()
+	for _, c := range parts {
+		if c.Arg >= 0 && c.Value < best.Value {
+			best = c
+		}
+	}
+	return best
+}
+
+// ReduceMin evaluates fn over the chunks of [lo, hi) — fn returns the
+// chunk's argmin candidate — and combines the candidates with CombineMin.
+// The result is bit-identical to fn(lo, hi) provided fn scans its range
+// left to right with strict-< tie-breaking. It is the one-dispatch form
+// of the engine's reduction; a client amortizing one dispatch over many
+// reductions (the histogram DP reduces every budget level per chunk)
+// uses the decomposed form instead — MapChunks into chunk-indexed
+// MinPartial slots, then CombineMin per reduction — which is equivalent
+// by construction.
+func (p *Pool) ReduceMin(lo, hi, work int, fn func(clo, chi int) MinPartial) MinPartial {
+	parts := p.Chunks(work)
+	if parts == 1 {
+		return fn(lo, hi)
+	}
+	partials := make([]MinPartial, parts)
+	p.MapChunks(lo, hi, work, func(w, clo, chi int) {
+		if clo >= chi {
+			partials[w] = EmptyMin()
+			return
+		}
+		partials[w] = fn(clo, chi)
+	})
+	return CombineMin(partials)
+}
+
+// ChunkBounds splits [lo, hi) into parts near-equal contiguous chunks and
+// returns the w-th as a half-open range.
+func ChunkBounds(w, parts, lo, hi int) (int, int) {
+	span := hi - lo
+	return lo + w*span/parts, lo + (w+1)*span/parts
+}

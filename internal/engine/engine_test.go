@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 7, 16} {
+		for _, span := range []int{0, 1, 2, 5, 16, 97} {
+			lo, hi := 3, 3+span
+			prev := lo
+			for w := 0; w < parts; w++ {
+				clo, chi := ChunkBounds(w, parts, lo, hi)
+				if clo != prev {
+					t.Fatalf("parts=%d span=%d chunk %d starts at %d, want %d", parts, span, w, clo, prev)
+				}
+				if chi < clo {
+					t.Fatalf("parts=%d span=%d chunk %d inverted: [%d,%d)", parts, span, w, clo, chi)
+				}
+				prev = chi
+			}
+			if prev != hi {
+				t.Fatalf("parts=%d span=%d chunks end at %d, want %d", parts, span, prev, hi)
+			}
+		}
+	}
+}
+
+func TestChunksRespectsGrainAndWorkers(t *testing.T) {
+	p := New(Options{Workers: 4, Grain: 100})
+	if got := p.Chunks(99); got != 1 {
+		t.Fatalf("below grain: %d chunks, want 1", got)
+	}
+	if got := p.Chunks(100); got != 4 {
+		t.Fatalf("at grain: %d chunks, want 4", got)
+	}
+	if got := Serial().Chunks(1 << 20); got != 1 {
+		t.Fatalf("serial pool: %d chunks, want 1", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Chunks(1 << 20); got != 1 {
+		t.Fatalf("nil pool: %d chunks, want 1", got)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := New(Options{})
+	if p.Workers() != runtime.NumCPU() {
+		t.Fatalf("default workers %d, want NumCPU %d", p.Workers(), runtime.NumCPU())
+	}
+	if p.grain != DefaultGrain {
+		t.Fatalf("default grain %d, want %d", p.grain, DefaultGrain)
+	}
+}
+
+// MapChunks must visit every index exactly once, at any worker count, and
+// must invoke fn for empty chunks so indexed partial slots get written.
+func TestMapChunksVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(Options{Workers: workers, Grain: 1})
+		for _, span := range []int{0, 1, 2, 5, 100} {
+			visits := make([]int32, span)
+			calls := int32(0)
+			p.MapChunks(0, span, span, func(w, lo, hi int) {
+				atomic.AddInt32(&calls, 1)
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d span=%d: index %d visited %d times", workers, span, i, v)
+				}
+			}
+			if want := int32(p.Chunks(span)); calls != want {
+				t.Fatalf("workers=%d span=%d: fn called %d times, want %d", workers, span, calls, want)
+			}
+		}
+	}
+}
+
+// ReduceMin over a synthetic cost array must match a serial strict-< scan
+// bit for bit — value and argmin — at every worker count.
+func TestReduceMinMatchesSerialScan(t *testing.T) {
+	costs := []float64{5, 3, 7, 3, 1, 9, 1, 2, 8, 3, 1, 6}
+	scan := func(lo, hi int) MinPartial {
+		best := EmptyMin()
+		for i := lo; i < hi; i++ {
+			if costs[i] < best.Value {
+				best = MinPartial{Value: costs[i], Arg: int32(i)}
+			}
+		}
+		return best
+	}
+	want := scan(0, len(costs))
+	if want.Arg != 4 { // first of the tied minima
+		t.Fatalf("serial scan argmin %d, want 4", want.Arg)
+	}
+	for _, workers := range []int{1, 2, 3, 5, 16} {
+		p := New(Options{Workers: workers, Grain: 1})
+		got := p.ReduceMin(0, len(costs), len(costs), scan)
+		if got != want {
+			t.Fatalf("workers=%d: ReduceMin = %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+func TestReduceMinEmptyRange(t *testing.T) {
+	p := New(Options{Workers: 4, Grain: 1})
+	got := p.ReduceMin(0, 0, 10000, func(lo, hi int) MinPartial {
+		t.Fatalf("fn called on empty range [%d,%d)", lo, hi)
+		return MinPartial{}
+	})
+	if got.Arg >= 0 || !math.IsInf(got.Value, 1) {
+		t.Fatalf("empty reduce = %+v, want identity", got)
+	}
+}
+
+func TestCombineMinPrefersEarlierChunkOnTies(t *testing.T) {
+	parts := []MinPartial{
+		EmptyMin(),
+		{Value: 2, Arg: 3},
+		{Value: 2, Arg: 1}, // tied value, later chunk: must lose
+		{Value: 5, Arg: 9},
+	}
+	got := CombineMin(parts)
+	if got.Arg != 3 || got.Value != 2 {
+		t.Fatalf("CombineMin = %+v, want {2 3}", got)
+	}
+}

@@ -5,9 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"probsyn/internal/haar"
+	"probsyn/internal/metric"
 	"probsyn/internal/pdata"
+	"probsyn/internal/wavelet"
 )
 
 // WaveletPoint is one (budget, error%) sample of a wavelet series.
@@ -80,6 +83,53 @@ func (e *WaveletExperiment) Run() ([]WaveletSeries, error) {
 		nc := haar.Normalize(haar.Forward(haar.Pad(append([]float64(nil), freqs...))))
 		order := orderByMagnitude(nc)
 		out = append(out, seriesFromOrder(SampledWorld, s, e.Budgets, order, muSq, pct))
+	}
+	return out, nil
+}
+
+// WaveletDPPoint is one (budget, wall time, error) sample of the
+// restricted wavelet DP.
+type WaveletDPPoint struct {
+	B       int
+	Seconds float64
+	Cost    float64
+	Terms   int
+}
+
+// WaveletDPExperiment measures the restricted coefficient-tree DP
+// (Theorem 8) across a budget sweep — the wavelet sibling of the Figure 3
+// histogram-DP timings. Parallelism is the engine worker count threaded
+// into the DP's level sweeps; like HistogramExperiment, the zero value
+// means serial and a negative value means one worker per CPU. The
+// synopsis, and therefore Cost, is bit-identical at any setting, so the
+// series isolates pure scheduling speedup.
+type WaveletDPExperiment struct {
+	Source      pdata.Source
+	Metric      metric.Kind
+	Params      metric.Params
+	Budgets     []int
+	Parallelism int
+}
+
+// Run executes the experiment.
+func (e *WaveletDPExperiment) Run() ([]WaveletDPPoint, error) {
+	if len(e.Budgets) == 0 {
+		return nil, fmt.Errorf("eval: no budgets")
+	}
+	workers := e.Parallelism
+	if workers == 0 {
+		workers = 1
+	}
+	out := make([]WaveletDPPoint, 0, len(e.Budgets))
+	for _, B := range e.Budgets {
+		start := time.Now()
+		syn, cost, err := wavelet.BuildRestrictedWorkers(e.Source, e.Metric, e.Params, B, workers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WaveletDPPoint{
+			B: B, Seconds: time.Since(start).Seconds(), Cost: cost, Terms: syn.B(),
+		})
 	}
 	return out, nil
 }

@@ -3,7 +3,8 @@ package hist
 import (
 	"fmt"
 	"math"
-	"runtime"
+
+	"probsyn/internal/engine"
 )
 
 // Approximate computes a (1+eps)-approximate B-bucket histogram for
@@ -23,13 +24,20 @@ func Approximate(o Oracle, B int, eps float64) (*Histogram, error) {
 }
 
 // ApproximateWorkers is Approximate with each DP level's end-point loop
-// spread across `workers` goroutines (workers <= 0 means runtime.NumCPU()).
-// Levels are strictly synchronized — level b reads only the completed level
-// b-1 and its breakpoint compression — and every cell is computed by the
-// same sequence of floating-point operations as the serial run, so the
-// result is bit-identical to workers == 1. Oracle.Cost must be safe for
-// concurrent calls.
+// spread across `workers` goroutines (workers <= 0 means one per CPU). It
+// is shorthand for ApproximatePool with a default-grain pool.
 func ApproximateWorkers(o Oracle, B int, eps float64, workers int) (*Histogram, error) {
+	return ApproximatePool(o, B, eps, engine.New(engine.Options{Workers: workers}))
+}
+
+// ApproximatePool is Approximate with each DP level's end-point loop
+// dispatched through the engine pool (nil means serial). Levels are
+// strictly synchronized — level b reads only the completed level b-1 and
+// its breakpoint compression — and every cell is computed by the same
+// sequence of floating-point operations as the serial run, so the result
+// is bit-identical to a single-worker run. Oracle.Cost must be safe for
+// concurrent calls.
+func ApproximatePool(o Oracle, B int, eps float64, pool *engine.Pool) (*Histogram, error) {
 	if o.Combine() != Sum {
 		return nil, fmt.Errorf("hist: Approximate requires a cumulative metric")
 	}
@@ -46,8 +54,8 @@ func ApproximateWorkers(o Oracle, B int, eps float64, workers int) (*Histogram, 
 	if B > n {
 		B = n
 	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	if pool == nil {
+		pool = engine.Serial()
 	}
 	delta := eps / (2 * float64(B))
 
@@ -98,11 +106,7 @@ func ApproximateWorkers(o Oracle, B int, eps float64, workers int) (*Histogram, 
 	}
 	for b := 1; b < B; b++ {
 		bps := compressBreakpoints(apx[b-1], b-1, delta)
-		if workers > 1 && n >= parallelGrain {
-			parallelRanges(workers, 0, n, func(lo, hi int) { levelEnds(b, bps, lo, hi) })
-		} else {
-			levelEnds(b, bps, 0, n)
-		}
+		pool.MapChunks(0, n, n, func(_, lo, hi int) { levelEnds(b, bps, lo, hi) })
 	}
 
 	starts := make([]int, 0, B)

@@ -3,8 +3,8 @@ package hist
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"probsyn/internal/engine"
 )
 
 // Optimal computes the error-optimal B-bucket histogram for the oracle's
@@ -25,7 +25,12 @@ func Optimal(o Oracle, B int) (*Histogram, error) {
 // OptimalWorkers is Optimal with the DP run across a worker pool; see
 // RunDPWorkers for the parallel contract.
 func OptimalWorkers(o Oracle, B, workers int) (*Histogram, error) {
-	t, err := RunDPWorkers(o, B, workers)
+	return OptimalPool(o, B, engine.New(engine.Options{Workers: workers}))
+}
+
+// OptimalPool is Optimal scheduled on an explicit engine pool.
+func OptimalPool(o Oracle, B int, pool *engine.Pool) (*Histogram, error) {
+	t, err := RunDPPool(o, B, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -43,31 +48,32 @@ type DPTable struct {
 	choice [][]int32
 }
 
-// parallelGrain is the minimum amount of per-end work (split-point
-// candidates, or oracle sweep calls) below which the DP stays serial for
-// that end: fanning goroutines out over tiny prefixes costs more than the
-// loop itself. A variable so the determinism tests can lower it and drive
-// small inputs through the parallel schedule.
-var parallelGrain = 2048
-
 // RunDP executes the dynamic program of Eq. (2) up to budget Bmax,
 // single-threaded. It is shorthand for RunDPWorkers(o, Bmax, 1).
 func RunDP(o Oracle, Bmax int) (*DPTable, error) {
 	return RunDPWorkers(o, Bmax, 1)
 }
 
-// RunDPWorkers executes the dynamic program of Eq. (2) up to budget Bmax
-// with the per-end cost sweeps and the min-reduction over split points
-// spread across `workers` goroutines (workers <= 0 means runtime.NumCPU()).
+// RunDPWorkers executes the dynamic program with the default engine grain
+// and the given worker count (workers <= 0 means one per CPU). It is
+// shorthand for RunDPPool(o, Bmax, engine.New(engine.Options{Workers:
+// workers})); see RunDPPool for the parallel contract.
+func RunDPWorkers(o Oracle, Bmax, workers int) (*DPTable, error) {
+	return RunDPPool(o, Bmax, engine.New(engine.Options{Workers: workers}))
+}
+
+// RunDPPool executes the dynamic program of Eq. (2) up to budget Bmax with
+// the per-end cost sweeps and the min-reduction over split points
+// dispatched through the engine pool (nil means serial).
 //
 // The parallel schedule is deterministic: every floating-point operation is
 // performed exactly as in the serial order, and chunk results are combined
 // left to right with the same strict-< tie-breaking, so the resulting
-// DPTable (costs and back-pointers) is bit-identical to the workers == 1
+// DPTable (costs and back-pointers) is bit-identical to a single-worker
 // run. Oracle.Cost must be safe for concurrent calls (all oracles in this
 // package are: Cost reads only precomputed arrays); SweepOracle sweeps are
 // inherently sequential in the bucket start and stay on one goroutine.
-func RunDPWorkers(o Oracle, Bmax, workers int) (*DPTable, error) {
+func RunDPPool(o Oracle, Bmax int, pool *engine.Pool) (*DPTable, error) {
 	n := o.N()
 	if n <= 0 {
 		return nil, fmt.Errorf("hist: empty domain")
@@ -78,8 +84,8 @@ func RunDPWorkers(o Oracle, Bmax, workers int) (*DPTable, error) {
 	if Bmax > n {
 		Bmax = n
 	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	if pool == nil {
+		pool = engine.Serial()
 	}
 	t := &DPTable{oracle: o, n: n, bmax: Bmax}
 
@@ -96,23 +102,19 @@ func RunDPWorkers(o Oracle, Bmax, workers int) (*DPTable, error) {
 	sweeper, hasSweep := o.(SweepOracle)
 	isSum := o.Combine() == Sum
 
-	// partial[(b-1)*workers + w] is worker w's best candidate for level b at
+	// partials[(b-1)*chunks + w] is chunk w's best candidate for level b at
 	// the current end; reused across ends.
-	partials := make([]dpPartial, (Bmax-1)*workers)
+	partials := make([]engine.MinPartial, (Bmax-1)*pool.Workers())
 
 	for e := 0; e < n; e++ {
 		if hasSweep {
 			sweeper.CostsForEnd(e, costs, reps)
-		} else if workers > 1 && e+1 >= parallelGrain {
-			parallelRanges(workers, 0, e+1, func(lo, hi int) {
+		} else {
+			pool.MapChunks(0, e+1, e+1, func(_, lo, hi int) {
 				for s := lo; s < hi; s++ {
 					costs[s], reps[s] = o.Cost(s, e)
 				}
 			})
-		} else {
-			for s := 0; s <= e; s++ {
-				costs[s], reps[s] = o.Cost(s, e)
-			}
 		}
 		t.opt[0][e] = costs[0]
 		t.choice[0][e] = -1
@@ -123,76 +125,50 @@ func RunDPWorkers(o Oracle, Bmax, workers int) (*DPTable, error) {
 		if top <= 1 {
 			continue
 		}
-		if workers > 1 && (top-1)*e >= parallelGrain {
+		if chunks := pool.Chunks((top - 1) * e); chunks > 1 {
 			// Split the split-point range [0, e) into one contiguous chunk
 			// per worker; each worker reduces its chunk for every level b.
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				lo, hi := chunkBounds(w, workers, 0, e)
-				if lo >= hi {
-					for b := 1; b < top; b++ {
-						partials[(b-1)*workers+w] = dpPartial{best: math.Inf(1), bestI: -1}
+			pool.MapChunks(0, e, (top-1)*e, func(w, lo, hi int) {
+				for b := 1; b < top; b++ {
+					from := lo
+					if from < b-1 {
+						from = b - 1
 					}
-					continue
+					partials[(b-1)*chunks+w] = reduceSplits(t.opt[b-1], costs, from, hi, isSum)
 				}
-				wg.Add(1)
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					for b := 1; b < top; b++ {
-						from := lo
-						if from < b-1 {
-							from = b - 1
-						}
-						partials[(b-1)*workers+w] = reduceSplits(t.opt[b-1], costs, from, hi, isSum)
-					}
-				}(w, lo, hi)
-			}
-			wg.Wait()
+			})
 			for b := 1; b < top; b++ {
-				best := math.Inf(1)
-				bestI := int32(b - 1)
-				for w := 0; w < workers; w++ {
-					if p := partials[(b-1)*workers+w]; p.bestI >= 0 && p.best < best {
-						best, bestI = p.best, p.bestI
-					}
+				best := engine.CombineMin(partials[(b-1)*chunks : b*chunks])
+				if best.Arg < 0 {
+					best = engine.MinPartial{Value: math.Inf(1), Arg: int32(b - 1)}
 				}
-				t.opt[b][e] = best
-				t.choice[b][e] = bestI
+				t.opt[b][e] = best.Value
+				t.choice[b][e] = best.Arg
 			}
 		} else {
 			for b := 1; b < top; b++ {
-				p := reduceSplits(t.opt[b-1], costs, b-1, e, isSum)
-				best, bestI := p.best, p.bestI
-				if bestI < 0 {
-					best, bestI = math.Inf(1), int32(b-1)
+				best := reduceSplits(t.opt[b-1], costs, b-1, e, isSum)
+				if best.Arg < 0 {
+					best = engine.MinPartial{Value: math.Inf(1), Arg: int32(b - 1)}
 				}
-				t.opt[b][e] = best
-				t.choice[b][e] = bestI
+				t.opt[b][e] = best.Value
+				t.choice[b][e] = best.Arg
 			}
 		}
 	}
 	return t, nil
 }
 
-// dpPartial is one worker's candidate for a DP cell: the minimal combined
-// error over its chunk of split points and the split achieving it
-// (bestI < 0 when the chunk was empty).
-type dpPartial struct {
-	best  float64
-	bestI int32
-}
-
 // reduceSplits scans split points i in [from, to), pricing prev[i] extended
 // by a final bucket [i+1, e] whose cost is costs[i+1], and returns the
 // minimum. Strict < keeps the smallest minimizing i, matching the serial
 // DP's tie-breaking exactly.
-func reduceSplits(prev, costs []float64, from, to int, isSum bool) dpPartial {
-	best := math.Inf(1)
-	bestI := int32(-1)
+func reduceSplits(prev, costs []float64, from, to int, isSum bool) engine.MinPartial {
+	best := engine.EmptyMin()
 	if isSum {
 		for i := from; i < to; i++ {
-			if v := prev[i] + costs[i+1]; v < best {
-				best, bestI = v, int32(i)
+			if v := prev[i] + costs[i+1]; v < best.Value {
+				best = engine.MinPartial{Value: v, Arg: int32(i)}
 			}
 		}
 	} else {
@@ -201,37 +177,12 @@ func reduceSplits(prev, costs []float64, from, to int, isSum bool) dpPartial {
 			if c := costs[i+1]; c > v {
 				v = c
 			}
-			if v < best {
-				best, bestI = v, int32(i)
+			if v < best.Value {
+				best = engine.MinPartial{Value: v, Arg: int32(i)}
 			}
 		}
 	}
-	return dpPartial{best: best, bestI: bestI}
-}
-
-// chunkBounds splits [lo, hi) into `parts` near-equal contiguous chunks and
-// returns the w-th.
-func chunkBounds(w, parts, lo, hi int) (int, int) {
-	span := hi - lo
-	return lo + w*span/parts, lo + (w+1)*span/parts
-}
-
-// parallelRanges runs fn over the `parts` chunks of [lo, hi) concurrently
-// and waits for all of them.
-func parallelRanges(parts, lo, hi int, fn func(lo, hi int)) {
-	var wg sync.WaitGroup
-	for w := 0; w < parts; w++ {
-		clo, chi := chunkBounds(w, parts, lo, hi)
-		if clo >= chi {
-			continue
-		}
-		wg.Add(1)
-		go func(clo, chi int) {
-			defer wg.Done()
-			fn(clo, chi)
-		}(clo, chi)
-	}
-	wg.Wait()
+	return best
 }
 
 // Bmax returns the largest budget the table covers.

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"testing"
 
+	"probsyn/internal/engine"
 	"probsyn/internal/metric"
 	"probsyn/internal/pdata"
 	"probsyn/internal/ptest"
@@ -45,17 +46,15 @@ func parallelSources(rng *rand.Rand, n int) map[string]pdata.Source {
 	}
 }
 
-// lowerGrain drops the serial-fallback threshold so that small test
-// inputs actually take the parallel code paths, restoring it afterwards.
-func lowerGrain(t *testing.T) {
-	t.Helper()
-	old := parallelGrain
-	parallelGrain = 8
-	t.Cleanup(func() { parallelGrain = old })
+// finePool returns a pool whose grain is low enough that small test
+// inputs actually take the parallel code paths. Grain lives in
+// engine.Options — not a package global — so this is safe under parallel
+// test execution.
+func finePool(workers int) *engine.Pool {
+	return engine.New(engine.Options{Workers: workers, Grain: 8})
 }
 
 func TestRunDPWorkersBitIdentical(t *testing.T) {
-	lowerGrain(t)
 	rng := rand.New(rand.NewSource(71))
 	// With the grain lowered, ends both below and above the threshold run
 	// within one table, covering the serial fallback and both parallel
@@ -74,7 +73,7 @@ func TestRunDPWorkersBitIdentical(t *testing.T) {
 				t.Fatalf("%s/%v serial: %v", srcName, k, err)
 			}
 			for _, w := range workerCounts {
-				par, err := RunDPWorkers(o, B, w)
+				par, err := RunDPPool(o, B, finePool(w))
 				if err != nil {
 					t.Fatalf("%s/%v workers=%d: %v", srcName, k, w, err)
 				}
@@ -87,7 +86,6 @@ func TestRunDPWorkersBitIdentical(t *testing.T) {
 // The grain threshold must not change results: force tiny inputs through
 // the parallel path-selection logic at every worker count.
 func TestRunDPWorkersTinyDomains(t *testing.T) {
-	lowerGrain(t)
 	rng := rand.New(rand.NewSource(72))
 	for n := 1; n <= 6; n++ {
 		src := ptest.RandomValuePDF(rng, n, 3)
@@ -98,7 +96,7 @@ func TestRunDPWorkersTinyDomains(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, w := range []int{2, runtime.NumCPU()} {
-				par, err := RunDPWorkers(o, B, w)
+				par, err := RunDPPool(o, B, finePool(w))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -108,9 +106,9 @@ func TestRunDPWorkersTinyDomains(t *testing.T) {
 	}
 }
 
-// RunDPWorkers with workers <= 0 resolves to NumCPU and must agree too.
+// RunDPWorkers with workers <= 0 resolves to NumCPU and must agree too
+// (at the default grain, and through a fine-grained pool).
 func TestRunDPWorkersDefaultWorkers(t *testing.T) {
-	lowerGrain(t)
 	rng := rand.New(rand.NewSource(73))
 	src := ptest.RandomTuplePDF(rng, 64, 128, 3)
 	o := NewSSETuple(src)
@@ -123,10 +121,14 @@ func TestRunDPWorkersDefaultWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	tablesIdentical(t, serial, par)
+	par, err = RunDPPool(o, 7, finePool(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesIdentical(t, serial, par)
 }
 
 func TestApproximateWorkersBitIdentical(t *testing.T) {
-	lowerGrain(t)
 	rng := rand.New(rand.NewSource(74))
 	src := ptest.RandomValuePDF(rng, 80, 3)
 	o := NewSSEValue(src)
@@ -136,7 +138,7 @@ func TestApproximateWorkersBitIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, w := range []int{2, runtime.NumCPU(), 0} {
-			par, err := ApproximateWorkers(o, 6, eps, w)
+			par, err := ApproximatePool(o, 6, eps, finePool(w))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -2,8 +2,8 @@ package wavelet
 
 import (
 	"fmt"
-	"math"
 
+	"probsyn/internal/engine"
 	"probsyn/internal/haar"
 	"probsyn/internal/metric"
 	"probsyn/internal/numeric"
@@ -139,11 +139,29 @@ func (pe *PointErrors) SynopsisError(syn *Synopsis) float64 {
 // coefficient fixed at its expected value, minimizing the expected target
 // error. It runs the coefficient-tree dynamic program OPTW[j, b, v],
 // enumerating incoming values v over ancestor subsets (the O(n²·B²)
-// algorithm the paper describes for the restricted case).
+// algorithm the paper describes for the restricted case) as a bottom-up,
+// level-by-level sweep over dense per-level tables (see treedp.go).
 //
 // The budget semantics are "at most B coefficients". Returns the synopsis
-// and its optimal expected error.
+// and its optimal expected error. BuildRestricted is single-threaded
+// shorthand for BuildRestrictedPool with a nil pool.
 func BuildRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int) (*Synopsis, float64, error) {
+	return BuildRestrictedPool(src, kind, p, B, nil)
+}
+
+// BuildRestrictedWorkers is BuildRestricted with the DP's level sweeps
+// spread across `workers` goroutines (workers <= 0 means one per CPU) at
+// the engine's default grain.
+func BuildRestrictedWorkers(src pdata.Source, kind metric.Kind, p metric.Params, B, workers int) (*Synopsis, float64, error) {
+	return BuildRestrictedPool(src, kind, p, B, engine.New(engine.Options{Workers: workers}))
+}
+
+// BuildRestrictedPool is BuildRestricted scheduled on an explicit engine
+// pool (nil means serial). The parallel schedule is deterministic: every
+// DP state is an independent slot computed in the serial operation order,
+// so the synopsis — coefficients, values, and cost — is bit-identical at
+// any worker count.
+func BuildRestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B int, pool *engine.Pool) (*Synopsis, float64, error) {
 	if B < 0 {
 		return nil, 0, fmt.Errorf("wavelet: negative budget %d", B)
 	}
@@ -156,11 +174,6 @@ func BuildRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int)
 	cvals := haar.Forward(vp.ExpectedFreqs())
 	if B > n {
 		B = n
-	}
-	d := &restrictedDP{
-		n: n, B: B, cvals: cvals, pe: pe,
-		cumulative: kind.Cumulative(),
-		memo:       make(map[uint64][]float64),
 	}
 
 	if n == 1 {
@@ -176,135 +189,19 @@ func BuildRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int)
 		return syn, errNo, nil
 	}
 
-	// Root: decide on c0 (the overall average), then solve node 1.
-	noC0 := d.solve(1, 0, 0, 1)
-	withC0 := d.solve(1, 1, cvals[0], 1)
-	best, retainC0 := noC0[B], false
-	if B >= 1 && withC0[B-1] < best {
-		best, retainC0 = withC0[B-1], true
+	// The restricted problem is the shared tree DP with a single
+	// candidate per coefficient: its expected value.
+	cands := make([][]float64, n)
+	for j := range cands {
+		cands[j] = cvals[j : j+1]
 	}
-
-	var keep []int
-	if retainC0 {
-		keep = append(keep, 0)
-		d.backtrack(1, 1, cvals[0], 1, B-1, &keep)
-	} else {
-		d.backtrack(1, 0, 0, 1, B, &keep)
+	keep, best, err := runTreeDP(n, B, cands, pe, kind.Cumulative(), pool)
+	if err != nil {
+		return nil, 0, err
 	}
-	syn := fromDense(cvals, keep)
+	syn := synopsisFromChoices(n, keep)
 	syn.Cost = best
 	return syn, best, nil
-}
-
-type restrictedDP struct {
-	n          int
-	B          int
-	cvals      []float64
-	pe         *PointErrors
-	cumulative bool
-	memo       map[uint64][]float64
-}
-
-func (d *restrictedDP) combine(a, b float64) float64 {
-	if d.cumulative {
-		return a + b
-	}
-	return math.Max(a, b)
-}
-
-// solve returns res[b] = minimal subtree error of detail node j with at
-// most b coefficients retained in the subtree, given incoming value v.
-// mask encodes the retain decisions of j's ancestors (c0 at bit 0), which
-// uniquely determine v — it exists purely as a memo key.
-func (d *restrictedDP) solve(j int, mask uint64, v float64, depth int) []float64 {
-	key := uint64(j)<<40 | mask
-	if r, ok := d.memo[key]; ok {
-		return r
-	}
-	res := make([]float64, d.B+1)
-	vj := d.cvals[j]
-	left, right, isLeaf := haar.Children(j, d.n)
-	if isLeaf {
-		res[0] = d.combine(d.pe.Err(left, v), d.pe.Err(right, v))
-		if d.B >= 1 {
-			retained := d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj))
-			res[1] = math.Min(res[0], retained)
-			for b := 2; b <= d.B; b++ {
-				res[b] = res[1]
-			}
-		}
-	} else {
-		childMask := mask << 1
-		lnr := d.solve(left, childMask, v, depth+1)
-		rnr := d.solve(right, childMask, v, depth+1)
-		lr := d.solve(left, childMask|1, v+vj, depth+1)
-		rr := d.solve(right, childMask|1, v-vj, depth+1)
-		for b := 0; b <= d.B; b++ {
-			best := math.Inf(1)
-			for bl := 0; bl <= b; bl++ {
-				if c := d.combine(lnr[bl], rnr[b-bl]); c < best {
-					best = c
-				}
-			}
-			if b >= 1 {
-				for bl := 0; bl <= b-1; bl++ {
-					if c := d.combine(lr[bl], rr[b-1-bl]); c < best {
-						best = c
-					}
-				}
-			}
-			res[b] = best
-		}
-	}
-	d.memo[key] = res
-	return res
-}
-
-// backtrack re-derives the argmin decisions of solve and appends retained
-// coefficient indices to keep.
-func (d *restrictedDP) backtrack(j int, mask uint64, v float64, depth, b int, keep *[]int) {
-	res := d.solve(j, mask, v, depth)
-	target := res[b]
-	vj := d.cvals[j]
-	left, right, isLeaf := haar.Children(j, d.n)
-	if isLeaf {
-		if b >= 1 {
-			retained := d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj))
-			if retained <= target {
-				*keep = append(*keep, j)
-			}
-		}
-		return
-	}
-	childMask := mask << 1
-	lnr := d.solve(left, childMask, v, depth+1)
-	rnr := d.solve(right, childMask, v, depth+1)
-	for bl := 0; bl <= b; bl++ {
-		if d.combine(lnr[bl], rnr[b-bl]) <= target {
-			d.backtrack(left, childMask, v, depth+1, bl, keep)
-			d.backtrack(right, childMask, v, depth+1, b-bl, keep)
-			return
-		}
-	}
-	lr := d.solve(left, childMask|1, v+vj, depth+1)
-	rr := d.solve(right, childMask|1, v-vj, depth+1)
-	for bl := 0; bl <= b-1; bl++ {
-		if d.combine(lr[bl], rr[b-1-bl]) <= target {
-			*keep = append(*keep, j)
-			d.backtrack(left, childMask|1, v+vj, depth+1, bl, keep)
-			d.backtrack(right, childMask|1, v-vj, depth+1, b-1-bl, keep)
-			return
-		}
-	}
-	// Floating-point slack: fall back to the not-retain minimum.
-	bestBl, bestC := 0, math.Inf(1)
-	for bl := 0; bl <= b; bl++ {
-		if c := d.combine(lnr[bl], rnr[b-bl]); c < bestC {
-			bestC, bestBl = c, bl
-		}
-	}
-	d.backtrack(left, childMask, v, depth+1, bestBl, keep)
-	d.backtrack(right, childMask, v, depth+1, b-bestBl, keep)
 }
 
 // padValuePDF extends a value pdf with deterministic-zero items up to the

@@ -1,0 +1,436 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"probsyn/internal/engine"
+	"probsyn/internal/haar"
+)
+
+// This file implements the coefficient-tree dynamic program shared by the
+// restricted (Theorem 8) and unrestricted (§4.2 sketch) thresholding
+// problems as a bottom-up, level-by-level sweep over the Haar error tree.
+//
+// A DP state is (node j, ancestor decisions): every subset of j's
+// ancestors that is retained — each at one of its candidate values —
+// determines the "incoming value" v that the ancestors contribute to j's
+// support, and the table OPTW[j, state][b] holds the minimal expected
+// subtree error with at most b coefficients retained below (and at) j.
+// States of one level depend only on the completed level below, so each
+// level is a flat array of independent slots dispatched through the
+// engine pool; the parallel schedule is bit-identical to the serial one
+// at any worker count because no cross-worker reduction exists — every
+// slot is computed by one worker in the serial operation order.
+//
+// Layout. Level l holds detail nodes [2^l, 2^{l+1}); a node whose parent
+// block has S states and whose parent branches br ways (drop + one branch
+// per candidate value) has S·br states, stored contiguously with the
+// parent state as the high digits (child state = parent state · br +
+// decision). Budget axes are capped at the subtree coefficient count —
+// entries beyond the cap would only repeat the saturated value, so reads
+// clamp instead (res[min(b, cap)]). The finest detail level (whose
+// children are data items) is never materialized: its two-entry tables
+// are recomputed inline from PointErrors both by its parents' sweep and
+// by the backtrack, which re-derives every argmin decision from the kept
+// level tables.
+
+// maxTreeStates bounds one level's ancestor-decision state count. The
+// restricted DP stays quadratic (2^depth states over 2^depth nodes at the
+// finest kept level), but the unrestricted DP grows as the product of
+// candidate-set sizes along the path, so runaway (n, q) combinations fail
+// fast with an error instead of exhausting memory.
+const maxTreeStates = 1 << 26
+
+// coefChoice is one retained coefficient: its index and stored value.
+type coefChoice struct {
+	idx int
+	val float64
+}
+
+type treeDP struct {
+	n          int // padded domain size, power of two, >= 2
+	levels     int // log2 n: detail levels of the error tree
+	B          int // coefficient budget ("at most B"), already clamped to n
+	cands      [][]float64
+	pe         *PointErrors
+	cumulative bool
+	pool       *engine.Pool
+
+	// Per-level tables, built bottom-up and kept for the backtrack; only
+	// levels 0..levels-2 are materialized (see the layout note above).
+	res  [][]float64 // res[l]: flat [state][0..bcap[l]] blocks
+	offs [][]int     // offs[l][i]: first state of node 2^l+i; last entry = level total
+	bcap []int       // bcap[l] = min(B, subtree coefficient count)
+}
+
+// runTreeDP executes the shared DP: forward level sweeps through the
+// pool, then the serial deterministic backtrack. cands[j] lists the
+// candidate retained values of coefficient j (the restricted problem
+// passes exactly its expected value); cands[0] is the overall average c0.
+// Returns the retained coefficients and the optimal expected error.
+func runTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, pool *engine.Pool) ([]coefChoice, float64, error) {
+	if pool == nil {
+		pool = engine.Serial()
+	}
+	d := &treeDP{
+		n: n, levels: bits.Len(uint(n)) - 1, B: B,
+		cands: cands, pe: pe, cumulative: cumulative, pool: pool,
+	}
+	if d.levels == 1 {
+		return d.solveRootLeaf()
+	}
+	if err := d.layout(); err != nil {
+		return nil, 0, err
+	}
+	vals := d.incomingValues()
+	d.res = make([][]float64, d.levels-1)
+	d.solveLevel(d.levels-2, vals)
+	for l := d.levels - 3; l >= 0; l-- {
+		d.solveLevel(l, nil)
+	}
+	return d.finish()
+}
+
+func (d *treeDP) combine(a, b float64) float64 {
+	if d.cumulative {
+		return a + b
+	}
+	return math.Max(a, b)
+}
+
+// br returns node j's branch count: drop, or retain at one candidate.
+func (d *treeDP) br(j int) int { return 1 + len(d.cands[j]) }
+
+// layout computes the per-level state offsets and budget caps, rejecting
+// state spaces beyond maxTreeStates.
+func (d *treeDP) layout() error {
+	L := d.levels
+	d.offs = make([][]int, L-1)
+	d.bcap = make([]int, L-1)
+	counts := []int{d.br(0)} // level 0: node 1, one state per c0 decision
+	for l := 0; l <= L-2; l++ {
+		d.bcap[l] = min(d.B, (1<<(L-l))-1)
+		offs := make([]int, len(counts)+1)
+		total := 0
+		for i, c := range counts {
+			offs[i] = total
+			total += c
+			if total > maxTreeStates {
+				return fmt.Errorf("wavelet: coefficient-tree DP needs more than %d states at level %d; reduce the domain or the quantization", maxTreeStates, l)
+			}
+		}
+		offs[len(counts)] = total
+		d.offs[l] = offs
+		if l == L-2 {
+			break
+		}
+		next := make([]int, 2*len(counts))
+		for i, c := range counts {
+			b := d.br((1 << l) + i)
+			if c > maxTreeStates/b {
+				return fmt.Errorf("wavelet: coefficient-tree DP needs more than %d states at level %d; reduce the domain or the quantization", maxTreeStates, l+1)
+			}
+			next[2*i] = c * b
+			next[2*i+1] = c * b
+		}
+		counts = next
+	}
+	return nil
+}
+
+// incomingValues returns, for every state of the last internal level, the
+// reconstruction value the ancestors contribute to that node's support —
+// the incoming value v of the paper's OPTW[j, b, v] state. Built top-down
+// level by level; intermediate levels are discarded (the backtrack
+// re-derives v incrementally while descending).
+func (d *treeDP) incomingValues() []float64 {
+	L := d.levels
+	cur := make([]float64, d.offs[0][1])
+	for c, w := range d.cands[0] {
+		cur[c+1] = w
+	}
+	for l := 0; l < L-2; l++ {
+		next := make([]float64, d.offs[l+1][1<<(l+1)])
+		first := 1 << l
+		for i := 0; i < first; i++ {
+			j := first + i
+			b := d.br(j)
+			base := d.offs[l][i]
+			cnt := d.offs[l][i+1] - base
+			lbase := d.offs[l+1][2*i]
+			rbase := d.offs[l+1][2*i+1]
+			for s := 0; s < cnt; s++ {
+				v := cur[base+s]
+				next[lbase+s*b] = v
+				next[rbase+s*b] = v
+				for dd := 1; dd < b; dd++ {
+					w := d.cands[j][dd-1]
+					next[lbase+s*b+dd] = v + w
+					next[rbase+s*b+dd] = v - w
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// leafTables fills out (length min(B,1)+1) with the budget table of the
+// finest-level detail node j at incoming value v: out[0] drops the
+// coefficient, out[1] (when the budget allows one) may retain the best
+// candidate — "at most" semantics, so it is never worse than dropping.
+func (d *treeDP) leafTables(j int, v float64, out []float64) {
+	li, ri, _ := haar.Children(j, d.n)
+	drop := d.combine(d.pe.Err(li, v), d.pe.Err(ri, v))
+	out[0] = drop
+	if len(out) > 1 {
+		best := drop
+		for _, w := range d.cands[j] {
+			if r := d.combine(d.pe.Err(li, v+w), d.pe.Err(ri, v-w)); r < best {
+				best = r
+			}
+		}
+		out[1] = best
+	}
+}
+
+// solveLevel computes level l's tables from the completed level below,
+// dispatching the flattened (node, state) space through the pool. vals
+// carries the incoming values when l is the last internal level, whose
+// leaf children are evaluated inline.
+func (d *treeDP) solveLevel(l int, vals []float64) {
+	offs := d.offs[l]
+	first := 1 << l
+	total := offs[first]
+	entries := d.bcap[l] + 1
+	d.res[l] = make([]float64, total*entries)
+	fused := l == d.levels-2
+	var coffs []int
+	ccap := min(d.B, 1)
+	if !fused {
+		coffs = d.offs[l+1]
+		ccap = d.bcap[l+1]
+	}
+	centries := ccap + 1
+	d.pool.MapChunks(0, total, total*entries*centries, func(_, lo, hi int) {
+		var lbuf, rbuf []float64
+		if fused {
+			lbuf = make([]float64, centries)
+			rbuf = make([]float64, centries)
+		}
+		i := sort.SearchInts(offs, lo+1) - 1
+		for s := lo; s < hi; i++ {
+			j := first + i
+			end := min(hi, offs[i+1])
+			br := d.br(j)
+			for ; s < end; s++ {
+				local := s - offs[i]
+				out := d.res[l][s*entries : (s+1)*entries]
+				for k := range out {
+					out[k] = math.Inf(1)
+				}
+				for dd := 0; dd < br; dd++ {
+					var lt, rt []float64
+					if fused {
+						v := vals[s]
+						w := 0.0
+						if dd > 0 {
+							w = d.cands[j][dd-1]
+						}
+						d.leafTables(2*j, v+w, lbuf)
+						d.leafTables(2*j+1, v-w, rbuf)
+						lt, rt = lbuf, rbuf
+					} else {
+						cl := coffs[2*i] + local*br + dd
+						cr := coffs[2*i+1] + local*br + dd
+						lt = d.res[l+1][cl*centries : (cl+1)*centries]
+						rt = d.res[l+1][cr*centries : (cr+1)*centries]
+					}
+					shift := 0
+					if dd > 0 {
+						shift = 1 // retaining j spends one coefficient
+					}
+					for bb := shift; bb < entries; bb++ {
+						budget := bb - shift
+						best := out[bb]
+						for bl := 0; bl <= budget; bl++ {
+							if c := d.combine(lt[min(bl, ccap)], rt[min(budget-bl, ccap)]); c < best {
+								best = c
+							}
+						}
+						out[bb] = best
+					}
+				}
+			}
+		}
+	})
+}
+
+// finish scans the root's c0 decisions — drop first, then candidates in
+// order, with strict <, matching the forward tie-break — and backtracks
+// the winning decision path.
+func (d *treeDP) finish() ([]coefChoice, float64, error) {
+	entries := d.bcap[0] + 1
+	block := func(s int) []float64 { return d.res[0][s*entries : (s+1)*entries] }
+	best := block(0)[min(d.B, d.bcap[0])]
+	bestD := 0
+	if d.B >= 1 {
+		for c := range d.cands[0] {
+			if v := block(c + 1)[min(d.B-1, d.bcap[0])]; v < best {
+				best, bestD = v, c+1
+			}
+		}
+	}
+	var keep []coefChoice
+	if bestD > 0 {
+		w := d.cands[0][bestD-1]
+		keep = append(keep, coefChoice{0, w})
+		d.walk(0, 1, bestD, w, d.B-1, &keep)
+	} else {
+		d.walk(0, 1, 0, 0, d.B, &keep)
+	}
+	return keep, best, nil
+}
+
+// walk re-derives the argmin decisions of node j (level l, state local,
+// incoming value v, budget b), appending retained coefficients to keep.
+// Decisions are scanned in the forward order — drop with the smallest
+// left budget first, then candidates — with <=, so ties resolve
+// deterministically and independently of the worker count.
+func (d *treeDP) walk(l, j, local int, v float64, b int, keep *[]coefChoice) {
+	if l == d.levels-1 {
+		d.walkLeaf(j, v, b, keep)
+		return
+	}
+	offs := d.offs[l]
+	i := j - 1<<l
+	entries := d.bcap[l] + 1
+	flat := offs[i] + local
+	out := d.res[l][flat*entries : (flat+1)*entries]
+	tgt := out[min(b, d.bcap[l])]
+	br := d.br(j)
+	fused := l == d.levels-2
+	ccap := min(d.B, 1)
+	centries := 0
+	if !fused {
+		ccap = d.bcap[l+1]
+		centries = ccap + 1
+	}
+	var lbuf, rbuf []float64
+	if fused {
+		lbuf = make([]float64, ccap+1)
+		rbuf = make([]float64, ccap+1)
+	}
+	childTables := func(dd int, vl, vr float64) (lt, rt []float64) {
+		if fused {
+			d.leafTables(2*j, vl, lbuf)
+			d.leafTables(2*j+1, vr, rbuf)
+			return lbuf, rbuf
+		}
+		cl := d.offs[l+1][2*i] + local*br + dd
+		cr := d.offs[l+1][2*i+1] + local*br + dd
+		return d.res[l+1][cl*centries : (cl+1)*centries],
+			d.res[l+1][cr*centries : (cr+1)*centries]
+	}
+	lt, rt := childTables(0, v, v)
+	for bl := 0; bl <= b; bl++ {
+		if d.combine(lt[min(bl, ccap)], rt[min(b-bl, ccap)]) <= tgt {
+			d.walk(l+1, 2*j, local*br, v, bl, keep)
+			d.walk(l+1, 2*j+1, local*br, v, b-bl, keep)
+			return
+		}
+	}
+	if b >= 1 {
+		for c, w := range d.cands[j] {
+			lt, rt := childTables(c+1, v+w, v-w)
+			for bl := 0; bl <= b-1; bl++ {
+				if d.combine(lt[min(bl, ccap)], rt[min(b-1-bl, ccap)]) <= tgt {
+					*keep = append(*keep, coefChoice{j, w})
+					d.walk(l+1, 2*j, local*br+c+1, v+w, bl, keep)
+					d.walk(l+1, 2*j+1, local*br+c+1, v-w, b-1-bl, keep)
+					return
+				}
+			}
+		}
+	}
+	// Floating-point slack: fall back to the best drop split.
+	lt, rt = childTables(0, v, v)
+	bestBl, bestC := 0, math.Inf(1)
+	for bl := 0; bl <= b; bl++ {
+		if c := d.combine(lt[min(bl, ccap)], rt[min(b-bl, ccap)]); c < bestC {
+			bestC, bestBl = c, bl
+		}
+	}
+	d.walk(l+1, 2*j, local*br, v, bestBl, keep)
+	d.walk(l+1, 2*j+1, local*br, v, b-bestBl, keep)
+}
+
+// walkLeaf re-derives a finest-level node's decision: retain only when
+// strictly better than dropping (ties prefer the smaller synopsis), at
+// the first candidate achieving the minimum.
+func (d *treeDP) walkLeaf(j int, v float64, b int, keep *[]coefChoice) {
+	if b < 1 || len(d.cands[j]) == 0 {
+		return
+	}
+	li, ri, _ := haar.Children(j, d.n)
+	drop := d.combine(d.pe.Err(li, v), d.pe.Err(ri, v))
+	best := drop
+	for _, w := range d.cands[j] {
+		if r := d.combine(d.pe.Err(li, v+w), d.pe.Err(ri, v-w)); r < best {
+			best = r
+		}
+	}
+	if drop <= best {
+		return
+	}
+	for _, w := range d.cands[j] {
+		if d.combine(d.pe.Err(li, v+w), d.pe.Err(ri, v-w)) <= best {
+			*keep = append(*keep, coefChoice{j, w})
+			return
+		}
+	}
+}
+
+// solveRootLeaf handles n == 2, where the single detail node is itself a
+// finest-level node: enumerate the c0 decisions directly.
+func (d *treeDP) solveRootLeaf() ([]coefChoice, float64, error) {
+	tbl := make([]float64, min(d.B, 1)+1)
+	best := math.Inf(1)
+	bestD := 0
+	for dd := 0; dd <= len(d.cands[0]); dd++ {
+		budget, v := d.B, 0.0
+		if dd > 0 {
+			if d.B < 1 {
+				break
+			}
+			budget, v = d.B-1, d.cands[0][dd-1]
+		}
+		d.leafTables(1, v, tbl)
+		if c := tbl[min(budget, min(d.B, 1))]; c < best {
+			best, bestD = c, dd
+		}
+	}
+	var keep []coefChoice
+	v, budget := 0.0, d.B
+	if bestD > 0 {
+		v, budget = d.cands[0][bestD-1], d.B-1
+		keep = append(keep, coefChoice{0, v})
+	}
+	d.walkLeaf(1, v, budget, &keep)
+	return keep, best, nil
+}
+
+// synopsisFromChoices assembles a sparse synopsis from retained
+// (index, value) choices.
+func synopsisFromChoices(n int, keep []coefChoice) *Synopsis {
+	sort.Slice(keep, func(a, b int) bool { return keep[a].idx < keep[b].idx })
+	s := &Synopsis{N: n, Indices: make([]int, len(keep)), Values: make([]float64, len(keep))}
+	for k, c := range keep {
+		s.Indices[k] = c.idx
+		s.Values[k] = c.val
+	}
+	return s
+}

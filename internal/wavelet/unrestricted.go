@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"probsyn/internal/engine"
 	"probsyn/internal/haar"
 	"probsyn/internal/metric"
 	"probsyn/internal/pdata"
@@ -22,13 +23,31 @@ import (
 //   - the coefficient-tree DP then minimizes over candidate values as well
 //     as retain/drop decisions and budget splits.
 //
-// The incoming-value state space grows as O((2q+2)^depth) per subtree
-// instead of 2^depth, so this is exponentially more expensive than
-// BuildRestricted in both q and log n — use it on small domains (the
-// result is optimal over the quantized candidate sets). By construction
-// its error is never worse than the restricted optimum, since μ_j is
-// always a candidate; the tests verify both properties.
+// The ancestor-decision state space grows as the product of candidate-set
+// sizes along each root-to-leaf path — O((2q+2)^depth) instead of the
+// restricted DP's 2^depth — so this is exponentially more expensive than
+// BuildRestricted in both q and log n. Use it on small domains: the
+// result is optimal over the quantized candidate sets, and combinations
+// whose state space would exhaust memory fail fast with an error. By
+// construction its error is never worse than the restricted optimum,
+// since μ_j is always a candidate; the tests verify both properties.
+// BuildUnrestricted is single-threaded shorthand for
+// BuildUnrestrictedPool with a nil pool.
 func BuildUnrestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q int) (*Synopsis, float64, error) {
+	return BuildUnrestrictedPool(src, kind, p, B, q, nil)
+}
+
+// BuildUnrestrictedWorkers is BuildUnrestricted with the DP's level
+// sweeps spread across `workers` goroutines (workers <= 0 means one per
+// CPU) at the engine's default grain.
+func BuildUnrestrictedWorkers(src pdata.Source, kind metric.Kind, p metric.Params, B, q, workers int) (*Synopsis, float64, error) {
+	return BuildUnrestrictedPool(src, kind, p, B, q, engine.New(engine.Options{Workers: workers}))
+}
+
+// BuildUnrestrictedPool is BuildUnrestricted scheduled on an explicit
+// engine pool (nil means serial); like the restricted build, the result
+// is bit-identical at any worker count.
+func BuildUnrestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Synopsis, float64, error) {
 	if B < 0 {
 		return nil, 0, fmt.Errorf("wavelet: negative budget %d", B)
 	}
@@ -50,11 +69,6 @@ func BuildUnrestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q
 	// quantized grid over the pessimistic range.
 	cands := candidateGrids(vp, mu, q)
 
-	d := &unrestrictedDP{
-		n: n, B: B, cands: cands, pe: pe,
-		cumulative: kind.Cumulative(),
-		memo:       make(map[string][]float64),
-	}
 	if n == 1 {
 		syn := &Synopsis{N: 1}
 		best := pe.Err(0, 0)
@@ -73,46 +87,11 @@ func BuildUnrestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q
 		return syn, best, nil
 	}
 
-	type choice struct {
-		idx int
-		val float64
+	keep, best, err := runTreeDP(n, B, cands, pe, kind.Cumulative(), pool)
+	if err != nil {
+		return nil, 0, err
 	}
-	var keep []choice
-	// Root: try dropping c0 and every candidate value for it.
-	noC0 := d.solve(1, "", 0)
-	best := noC0[B]
-	bestC0 := math.NaN()
-	if B >= 1 {
-		for ci, v := range cands[0] {
-			res := d.solve(1, fmt.Sprintf("r%d.", ci), v)
-			if res[B-1] < best {
-				best, bestC0 = res[B-1], v
-			}
-		}
-	}
-	if !math.IsNaN(bestC0) {
-		keep = append(keep, choice{0, bestC0})
-		ci := candIndex(cands[0], bestC0)
-		d.backtrack(1, fmt.Sprintf("r%d.", ci), bestC0, B-1, func(j int, v float64) {
-			keep = append(keep, choice{j, v})
-		})
-	} else {
-		d.backtrack(1, "", 0, B, func(j int, v float64) {
-			keep = append(keep, choice{j, v})
-		})
-	}
-	idx := make([]int, len(keep))
-	for k, c := range keep {
-		idx[k] = c.idx
-	}
-	syn := fromDense(make([]float64, n), idx)
-	for k := range syn.Indices {
-		for _, c := range keep {
-			if c.idx == syn.Indices[k] {
-				syn.Values[k] = c.val
-			}
-		}
-	}
+	syn := synopsisFromChoices(n, keep)
 	syn.Cost = best
 	return syn, best, nil
 }
@@ -168,123 +147,4 @@ func candidateGrids(vp *pdata.ValuePDF, mu []float64, q int) [][]float64 {
 		cands[j] = list
 	}
 	return cands
-}
-
-func candIndex(cands []float64, v float64) int {
-	for i, c := range cands {
-		if c == v {
-			return i
-		}
-	}
-	return 0
-}
-
-type unrestrictedDP struct {
-	n          int
-	B          int
-	cands      [][]float64
-	pe         *PointErrors
-	cumulative bool
-	memo       map[string][]float64
-}
-
-func (d *unrestrictedDP) combine(a, b float64) float64 {
-	if d.cumulative {
-		return a + b
-	}
-	return math.Max(a, b)
-}
-
-// solve returns res[b] = minimal subtree error of node j with at most b
-// retained coefficients, given incoming value v; path is a string key
-// encoding the ancestor decisions that produced v.
-func (d *unrestrictedDP) solve(j int, path string, v float64) []float64 {
-	key := fmt.Sprintf("%d|%s", j, path)
-	if r, ok := d.memo[key]; ok {
-		return r
-	}
-	res := make([]float64, d.B+1)
-	left, right, isLeaf := haar.Children(j, d.n)
-	if isLeaf {
-		res[0] = d.combine(d.pe.Err(left, v), d.pe.Err(right, v))
-		if d.B >= 1 {
-			best := res[0]
-			for _, vj := range d.cands[j] {
-				if r := d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj)); r < best {
-					best = r
-				}
-			}
-			for b := 1; b <= d.B; b++ {
-				res[b] = best
-			}
-		}
-	} else {
-		lnr := d.solve(left, path+"n.", v)
-		rnr := d.solve(right, path+"n.", v)
-		for b := 0; b <= d.B; b++ {
-			best := math.Inf(1)
-			for bl := 0; bl <= b; bl++ {
-				if c := d.combine(lnr[bl], rnr[b-bl]); c < best {
-					best = c
-				}
-			}
-			res[b] = best
-		}
-		for ci, vj := range d.cands[j] {
-			childPath := fmt.Sprintf("%sr%d.", path, ci)
-			lr := d.solve(left, childPath, v+vj)
-			rr := d.solve(right, childPath, v-vj)
-			for b := 1; b <= d.B; b++ {
-				for bl := 0; bl <= b-1; bl++ {
-					if c := d.combine(lr[bl], rr[b-1-bl]); c < res[b] {
-						res[b] = c
-					}
-				}
-			}
-		}
-	}
-	d.memo[key] = res
-	return res
-}
-
-// backtrack re-derives argmin decisions, reporting retained (index, value)
-// pairs through emit.
-func (d *unrestrictedDP) backtrack(j int, path string, v float64, b int, emit func(int, float64)) {
-	res := d.solve(j, path, v)
-	target := res[b]
-	left, right, isLeaf := haar.Children(j, d.n)
-	if isLeaf {
-		notRetained := d.combine(d.pe.Err(left, v), d.pe.Err(right, v))
-		if b >= 1 && notRetained > target {
-			for _, vj := range d.cands[j] {
-				if d.combine(d.pe.Err(left, v+vj), d.pe.Err(right, v-vj)) <= target {
-					emit(j, vj)
-					return
-				}
-			}
-		}
-		return
-	}
-	lnr := d.solve(left, path+"n.", v)
-	rnr := d.solve(right, path+"n.", v)
-	for bl := 0; bl <= b; bl++ {
-		if d.combine(lnr[bl], rnr[b-bl]) <= target {
-			d.backtrack(left, path+"n.", v, bl, emit)
-			d.backtrack(right, path+"n.", v, b-bl, emit)
-			return
-		}
-	}
-	for ci, vj := range d.cands[j] {
-		childPath := fmt.Sprintf("%sr%d.", path, ci)
-		lr := d.solve(left, childPath, v+vj)
-		rr := d.solve(right, childPath, v-vj)
-		for bl := 0; bl <= b-1; bl++ {
-			if d.combine(lr[bl], rr[b-1-bl]) <= target {
-				emit(j, vj)
-				d.backtrack(left, childPath, v+vj, bl, emit)
-				d.backtrack(right, childPath, v-vj, b-1-bl, emit)
-				return
-			}
-		}
-	}
 }

@@ -151,7 +151,9 @@ func SSEWavelet(src Source, B int) (*WaveletSynopsis, *WaveletSSEReport, error) 
 
 // RestrictedWavelet builds the optimal restricted (coefficients fixed to
 // their expected values) B-term wavelet synopsis for a non-SSE metric
-// (Theorem 8), returning the synopsis and its expected error.
+// (Theorem 8), returning the synopsis and its expected error. It is
+// single-threaded; Build(src, m, B, WithWavelet(), WithParallelism(k))
+// runs the same DP across k workers with a bit-identical result.
 func RestrictedWavelet(src Source, m Metric, p Params, B int) (*WaveletSynopsis, float64, error) {
 	return wavelet.BuildRestricted(src, m, p, B)
 }
