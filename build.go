@@ -1,8 +1,10 @@
 package probsyn
 
 import (
+	"context"
 	"fmt"
 
+	"probsyn/internal/engine"
 	"probsyn/internal/hist"
 	"probsyn/internal/wavelet"
 )
@@ -14,6 +16,7 @@ type BuildOption func(*buildConfig)
 type buildConfig struct {
 	params      Params
 	parallelism int
+	pool        *engine.Pool
 	eps         float64
 	epsSet      bool
 	weights     []float64
@@ -40,6 +43,18 @@ func WithParallelism(workers int) BuildOption {
 		}
 		c.parallelism = workers
 	}
+}
+
+// WithPool schedules the build on a shared engine pool instead of a
+// per-call one, overriding WithParallelism. A long-lived process creates
+// one pool (engine.New with its worker count and, for serving workloads,
+// a MaxBuilds admission cap) and passes it to every Build: concurrent
+// builds then share the pool's workers, and when the pool caps admission
+// each Build blocks for a build token before its DP dispatches, so N
+// simultaneous build requests cannot oversubscribe cores. Determinism is
+// unchanged — the synopsis is bit-identical whatever pool runs it.
+func WithPool(pool *engine.Pool) BuildOption {
+	return func(c *buildConfig) { c.pool = pool }
 }
 
 // WithEps switches histogram construction to the (1+eps)-approximate DP of
@@ -77,23 +92,35 @@ func Build(src Source, m Metric, B int, opts ...BuildOption) (Synopsis, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	pool := cfg.pool
+	if pool == nil {
+		pool = engine.New(engine.Options{Workers: cfg.parallelism})
+	}
+	// Admission: hold a build token for the whole construction, so builds
+	// sharing a capped pool are bounded at its MaxBuilds (a no-op on
+	// uncapped pools, including every per-call one made above).
+	release, err := pool.Acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	// Return an untyped nil on error: wrapping a nil concrete pointer in
 	// the interface would defeat callers' `!= nil` checks.
 	if cfg.wavelet {
-		syn, err := buildWavelet(src, m, B, &cfg)
+		syn, err := buildWavelet(src, m, B, &cfg, pool)
 		if err != nil {
 			return nil, err
 		}
 		return syn, nil
 	}
-	h, err := buildHistogram(src, m, B, &cfg)
+	h, err := buildHistogram(src, m, B, &cfg, pool)
 	if err != nil {
 		return nil, err
 	}
 	return h, nil
 }
 
-func buildHistogram(src Source, m Metric, B int, cfg *buildConfig) (*Histogram, error) {
+func buildHistogram(src Source, m Metric, B int, cfg *buildConfig, pool *engine.Pool) (*Histogram, error) {
 	var (
 		o   hist.Oracle
 		err error
@@ -110,12 +137,12 @@ func buildHistogram(src Source, m Metric, B int, cfg *buildConfig) (*Histogram, 
 		return nil, err
 	}
 	if cfg.epsSet {
-		return hist.ApproximateWorkers(o, B, cfg.eps, cfg.parallelism)
+		return hist.ApproximatePool(o, B, cfg.eps, pool)
 	}
-	return hist.OptimalWorkers(o, B, cfg.parallelism)
+	return hist.OptimalPool(o, B, pool)
 }
 
-func buildWavelet(src Source, m Metric, B int, cfg *buildConfig) (*WaveletSynopsis, error) {
+func buildWavelet(src Source, m Metric, B int, cfg *buildConfig, pool *engine.Pool) (*WaveletSynopsis, error) {
 	switch {
 	case cfg.weights != nil:
 		return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
@@ -126,7 +153,7 @@ func buildWavelet(src Source, m Metric, B int, cfg *buildConfig) (*WaveletSynops
 		syn, _, err := wavelet.BuildSSE(src, B)
 		return syn, err
 	}
-	syn, _, err := wavelet.BuildRestrictedWorkers(src, m, cfg.params, B, cfg.parallelism)
+	syn, _, err := wavelet.BuildRestrictedPool(src, m, cfg.params, B, pool)
 	return syn, err
 }
 

@@ -3,10 +3,84 @@ package probsyn_test
 import (
 	"bytes"
 	"runtime"
+	"sync"
 	"testing"
 
 	"probsyn"
+	"probsyn/internal/engine"
 )
+
+// WithPool must produce bit-identical synopses to per-call builds, for
+// both families, on one shared pool reused across builds.
+func TestBuildWithPoolBitIdentical(t *testing.T) {
+	src := sampleValuePDF()
+	pool := engine.New(engine.Options{Workers: runtime.NumCPU(), Grain: 1})
+	for name, opts := range map[string][]probsyn.BuildOption{
+		"histogram": nil,
+		"wavelet":   {probsyn.WithWavelet()},
+	} {
+		want, err := probsyn.Build(src, probsyn.SAE, 2, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := probsyn.Build(src, probsyn.SAE, 2, append([]probsyn.BuildOption{probsyn.WithPool(pool)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ErrorCost() != want.ErrorCost() || got.Terms() != want.Terms() {
+			t.Fatalf("%s: pooled build (%d terms, cost %v) != per-call (%d terms, cost %v)",
+				name, got.Terms(), got.ErrorCost(), want.Terms(), want.ErrorCost())
+		}
+		for i := 0; i < 4; i++ {
+			if a, b := got.Estimate(i), want.Estimate(i); a != b {
+				t.Fatalf("%s: Estimate(%d) %v != %v", name, i, a, b)
+			}
+		}
+	}
+}
+
+// Concurrent Builds sharing a capped pool must be admission-controlled:
+// the pool's high-water mark of in-flight builds never exceeds MaxBuilds,
+// and every build still completes with the right result.
+func TestBuildSharedPoolAdmissionControl(t *testing.T) {
+	src := sampleValuePDF()
+	const maxBuilds = 2
+	pool := engine.New(engine.Options{Workers: 2, Grain: 1, MaxBuilds: maxBuilds})
+	want, err := probsyn.Build(src, probsyn.SSRE, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	costs := make([]float64, 12)
+	for k := range errs {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			s, err := probsyn.Build(src, probsyn.SSRE, 2, probsyn.WithPool(pool))
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			costs[k] = s.ErrorCost()
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("build %d: %v", k, err)
+		}
+		if costs[k] != want.ErrorCost() {
+			t.Fatalf("build %d: cost %v, want %v", k, costs[k], want.ErrorCost())
+		}
+	}
+	if peak := pool.PeakInFlight(); peak < 1 || peak > maxBuilds {
+		t.Fatalf("peak in-flight builds %d, want in [1, %d]", peak, maxBuilds)
+	}
+	if got := pool.InFlight(); got != 0 {
+		t.Fatalf("in-flight builds %d after completion, want 0", got)
+	}
+}
 
 // Build must produce the same histogram as the named wrappers, at any
 // parallelism, behind the shared interface.

@@ -17,8 +17,11 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"probsyn/internal/catalog"
+	"probsyn/internal/engine"
 	"probsyn/internal/eval"
 	"probsyn/internal/gen"
 	"probsyn/internal/hist"
@@ -33,6 +36,7 @@ var (
 	flagPoints   = flag.Int("points", 10, "budgets per series")
 	flagFull     = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
 	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines for the histogram and wavelet DPs (<= 0: one per CPU); results are identical at any setting")
+	flagCatalog  = flag.String("catalog", "", "save the probabilistic synopses built by fig2*/wavelet-dp into this catalog directory (servable by psynd)")
 )
 
 // workers resolves -parallelism to an explicit positive worker count, so
@@ -43,6 +47,35 @@ func workers() int {
 		return runtime.NumCPU()
 	}
 	return *flagParallel
+}
+
+// pool returns the one process-wide engine pool every DP in this run
+// schedules on — the same discipline psynd uses, instead of a fresh
+// per-call pool under each build.
+var pool = sync.OnceValue(func() *engine.Pool {
+	return engine.New(engine.Options{Workers: workers()})
+})
+
+// cat returns the run's shared catalog when -catalog is set; experiment
+// runners stash their built synopses in it and saveCatalog persists them
+// through the same envelope files psynd loads.
+var cat = sync.OnceValue(func() *catalog.Catalog {
+	if *flagCatalog == "" {
+		return nil
+	}
+	return catalog.New()
+})
+
+// saveCatalog persists everything the runners stashed, once, after the
+// figures are done.
+func saveCatalog() {
+	c := cat()
+	if c == nil || c.Len() == 0 {
+		return
+	}
+	n, err := c.SaveAll(*flagCatalog)
+	check(err)
+	fmt.Printf("# catalog: saved %d synopses to %s\n", n, *flagCatalog)
 }
 
 func main() {
@@ -73,6 +106,7 @@ func main() {
 			runners[name]()
 			fmt.Println()
 		}
+		saveCatalog()
 		return
 	}
 	run, ok := runners[cmd]
@@ -81,6 +115,7 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+	saveCatalog()
 }
 
 func check(err error) {
@@ -116,13 +151,15 @@ func fig2(k metric.Kind, c float64, title string) {
 	rng := rand.New(rand.NewSource(*flagSeed))
 	src := gen.MystiQLinkage(rng, gen.DefaultMystiQ(n))
 	exp := &eval.HistogramExperiment{
-		Source:      src,
-		Metric:      k,
-		Params:      metric.Params{C: c},
-		Budgets:     budgets(n/10, *flagPoints),
-		Samples:     *flagSamples,
-		Rng:         rng,
-		Parallelism: workers(),
+		Source:  src,
+		Metric:  k,
+		Params:  metric.Params{C: c},
+		Budgets: budgets(n/10, *flagPoints),
+		Samples: *flagSamples,
+		Rng:     rng,
+		Pool:    pool(),
+		Catalog: cat(),
+		Dataset: fmt.Sprintf("mystiq-n%d-c%g", n, c),
 	}
 	start := time.Now()
 	series, err := exp.Run()
@@ -165,7 +202,7 @@ func fig3a() {
 		o, err := hist.NewOracle(src, metric.SSRE, metric.Params{C: 0.5})
 		check(err)
 		start := time.Now()
-		_, err = hist.OptimalWorkers(o, B, workers())
+		_, err = hist.OptimalPool(o, B, pool())
 		check(err)
 		fmt.Printf("%d,%.3f\n", n, time.Since(start).Seconds())
 	}
@@ -185,7 +222,7 @@ func fig3b() {
 	fmt.Println("buckets,seconds")
 	for _, B := range budgets(n/10, *flagPoints) {
 		start := time.Now()
-		_, err := hist.OptimalWorkers(o, B, workers())
+		_, err := hist.OptimalPool(o, B, pool())
 		check(err)
 		fmt.Printf("%d,%.3f\n", B, time.Since(start).Seconds())
 	}
@@ -260,11 +297,13 @@ func waveletDP() {
 	rng := rand.New(rand.NewSource(*flagSeed))
 	src := gen.MystiQLinkage(rng, gen.DefaultMystiQ(n))
 	exp := &eval.WaveletDPExperiment{
-		Source:      src,
-		Metric:      metric.SAE,
-		Params:      metric.Params{C: 0.5},
-		Budgets:     budgets(n/16, *flagPoints),
-		Parallelism: workers(),
+		Source:  src,
+		Metric:  metric.SAE,
+		Params:  metric.Params{C: 0.5},
+		Budgets: budgets(n/16, *flagPoints),
+		Pool:    pool(),
+		Catalog: cat(),
+		Dataset: fmt.Sprintf("mystiq-n%d", n),
 	}
 	points, err := exp.Run()
 	check(err)
@@ -294,11 +333,11 @@ func ablateStraddle() {
 	fmt.Println("buckets,exact_cost,closedform_cost_repriced,regret_pct,exact_seconds,closedform_seconds")
 	for _, B := range []int{4, 16, 64} {
 		t0 := time.Now()
-		hOpt, err := hist.OptimalWorkers(exact, B, workers())
+		hOpt, err := hist.OptimalPool(exact, B, pool())
 		check(err)
 		dtExact := time.Since(t0)
 		t0 = time.Now()
-		hClosed, err := hist.OptimalWorkers(closed, B, workers())
+		hClosed, err := hist.OptimalPool(closed, B, pool())
 		check(err)
 		dtClosed := time.Since(t0)
 		repriced, err := hist.FromBoundaries(exact, hClosed.Boundaries())
@@ -326,13 +365,13 @@ func ablateApprox() {
 	B := 16
 	fmt.Printf("# ablate-approx: exact vs (1+eps)-approximate DP; n=%d, B=%d, SSE\n", n, B)
 	t0 := time.Now()
-	opt, err := hist.OptimalWorkers(o, B, workers())
+	opt, err := hist.OptimalPool(o, B, pool())
 	check(err)
 	exactSec := time.Since(t0).Seconds()
 	fmt.Println("eps,cost_ratio,approx_seconds,exact_seconds")
 	for _, eps := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
 		t0 = time.Now()
-		apx, err := hist.ApproximateWorkers(o, B, eps, workers())
+		apx, err := hist.ApproximatePool(o, B, eps, pool())
 		check(err)
 		fmt.Printf("%.2f,%.5f,%.3f,%.3f\n", eps, apx.Cost/opt.Cost, time.Since(t0).Seconds(), exactSec)
 	}

@@ -17,9 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"probsyn"
+	"probsyn/internal/catalog"
 )
 
 // errParse marks a flag-parse failure the FlagSet has already reported to
@@ -169,35 +169,23 @@ func printCoeffs(stdout io.Writer, syn *probsyn.WaveletSynopsis) {
 	}
 }
 
-// saveSynopsis writes the synopsis through the versioned codec: JSON when
-// the path ends in .json, the binary envelope otherwise.
+// saveSynopsis writes the synopsis through the catalog layer's shared
+// file path (JSON envelope for .json, binary otherwise) — the same bytes
+// psynd persists, so an offline -out file and a served catalog entry for
+// the same build are interchangeable.
 func saveSynopsis(stdout io.Writer, path string, syn probsyn.Synopsis) error {
-	var (
-		data []byte
-		err  error
-	)
-	if strings.HasSuffix(path, ".json") {
-		data, err = probsyn.MarshalSynopsisJSON(syn)
-	} else {
-		data, err = probsyn.MarshalSynopsis(syn)
-	}
+	n, err := catalog.WriteFile(path, syn)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "saved %d-term synopsis to %s (%d bytes)\n", syn.Terms(), path, len(data))
+	fmt.Fprintf(stdout, "saved %d-term synopsis to %s (%d bytes)\n", syn.Terms(), path, n)
 	return nil
 }
 
-// loadSynopsis reads a saved synopsis (either envelope) and summarizes it.
+// loadSynopsis reads a saved synopsis through the catalog layer's shared
+// load path and summarizes it.
 func loadSynopsis(stdout io.Writer, path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	syn, err := probsyn.UnmarshalSynopsis(data)
+	syn, err := catalog.ReadFile(path)
 	if err != nil {
 		return err
 	}

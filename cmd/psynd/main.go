@@ -1,0 +1,143 @@
+// Command psynd is the probsyn synopsis server: a long-lived process
+// that loads codec-serialized synopses into an in-memory catalog, accepts
+// build requests onto a bounded queue drained through one process-wide
+// admission-controlled engine pool, and answers point/range estimates
+// over HTTP. Builds are deterministic, so replicas serving the same
+// catalog key are byte-interchangeable with each other and with offline
+// cmd/psyn builds.
+//
+// Example:
+//
+//	psynd -addr 127.0.0.1:7075 -data ./data -catalog ./catalog -max-builds 2
+//
+//	curl -X POST localhost:7075/v1/build \
+//	     -d '{"dataset":"ds","family":"histogram","metric":"SSE","budget":16,"wait":true}'
+//	curl 'localhost:7075/v1/estimate?dataset=ds&family=histogram&metric=SSE&budget=16&i=42'
+//	curl 'localhost:7075/v1/rangesum?dataset=ds&family=histogram&metric=SSE&budget=16&lo=0&hi=99'
+//	curl 'localhost:7075/v1/synopses'
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, queued
+// builds drain, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"probsyn/internal/catalog"
+	"probsyn/internal/engine"
+	"probsyn/internal/server"
+)
+
+// errParse marks a flag-parse failure the FlagSet has already reported to
+// stderr, so main neither reprints it nor masks the usage text.
+var errParse = errors.New("flag parse error")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errParse) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "psynd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole server behind a testable seam: it serves until ctx is
+// cancelled (the signal handler in main, the test's cancel func), then
+// shuts down gracefully. Progress lines go to stdout, including the
+// bound listen address, so callers starting on ":0" learn the port.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("psynd", flag.ContinueOnError)
+	var (
+		flagAddr     = fs.String("addr", "127.0.0.1:7075", "HTTP listen address")
+		flagData     = fs.String("data", "", "dataset directory: dataset NAME is NAME.pd in this directory (required)")
+		flagCatalog  = fs.String("catalog", "", "catalog directory: preload synopses at startup, persist new builds (optional)")
+		flagQueue    = fs.Int("queue", server.DefaultQueueDepth, "build queue depth; a full queue rejects builds with queue_full")
+		flagBuilders = fs.Int("build-workers", server.DefaultBuildWorkers, "goroutines draining the build queue")
+		flagMax      = fs.Int("max-builds", 2, "admission cap: builds running DPs concurrently on the shared pool (<= 0: unlimited)")
+		flagParallel = fs.Int("parallelism", 0, "engine worker goroutines per build DP (<= 0: one per CPU)")
+		flagC        = fs.Float64("c", 0.5, "sanity constant for relative-error metrics")
+		flagDrain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining queued builds")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errParse
+	}
+	if *flagData == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -data directory")
+	}
+
+	// The process-wide pool: every build this server runs shares these
+	// workers, and at most -max-builds DPs dispatch at once.
+	pool := engine.New(engine.Options{Workers: *flagParallel, MaxBuilds: *flagMax})
+	cat := catalog.New()
+	if *flagCatalog != "" {
+		if err := os.MkdirAll(*flagCatalog, 0o755); err != nil {
+			return err
+		}
+		n, err := cat.LoadDir(*flagCatalog)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "psynd: loaded %d synopses from %s\n", n, *flagCatalog)
+	}
+	srv, err := server.New(server.Config{
+		DataDir:      *flagData,
+		CatalogDir:   *flagCatalog,
+		Catalog:      cat,
+		Pool:         pool,
+		QueueDepth:   *flagQueue,
+		BuildWorkers: *flagBuilders,
+		C:            *flagC,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, "psynd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *flagAddr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "psynd: listening on %s (pool: %d workers, max %d concurrent builds)\n",
+		ln.Addr(), pool.Workers(), pool.MaxBuilds())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "psynd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), *flagDrain)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(sctx) // close the listener, finish in-flight requests
+	drainErr := srv.Shutdown(sctx)    // drain queued builds through the pool
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := errors.Join(httpErr, drainErr); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "psynd: bye")
+	return nil
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"probsyn"
+	"probsyn/internal/catalog"
+	"probsyn/internal/gen"
+)
+
+// syncBuffer is a mutex-guarded buffer: the test reads psynd's stdout
+// while the server goroutine is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^\s(]+)`)
+
+// startPsynd runs the psynd run() seam on an ephemeral port and returns
+// its base URL plus a stop func that triggers graceful shutdown and
+// returns run's error.
+func startPsynd(t *testing.T, args []string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
+	deadline := time.Now().Add(15 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("psynd exited before listening: %v\noutput:\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("psynd never reported its listen address:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop := func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(30 * time.Second):
+			return errors.New("psynd did not shut down")
+		}
+	}
+	return "http://" + addr, out, stop
+}
+
+func writeDataset(t *testing.T, dir string) probsyn.Source {
+	t.Helper()
+	src := gen.MystiQLinkage(rand.New(rand.NewSource(7)), gen.DefaultMystiQ(64))
+	f, err := os.Create(filepath.Join(dir, "ds.pd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probsyn.WriteDataset(f, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// The binary-level acceptance round trip: psynd builds both families
+// through its shared pool, serves estimates equal to offline
+// probsyn.Build results, persists envelopes byte-identical to the
+// offline codec bytes, reloads its catalog on restart, and shuts down
+// cleanly on context cancel.
+func TestPsyndEndToEnd(t *testing.T) {
+	dataDir, catDir := t.TempDir(), t.TempDir()
+	src := writeDataset(t, dataDir)
+	base, _, stop := startPsynd(t, []string{"-data", dataDir, "-catalog", catDir, "-max-builds", "1"})
+
+	build := func(family, metric string, budget int) {
+		t.Helper()
+		body := fmt.Sprintf(`{"dataset":"ds","family":%q,"metric":%q,"budget":%d,"wait":true}`, family, metric, budget)
+		resp, err := http.Post(base+"/v1/build", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s build: status %d", family, resp.StatusCode)
+		}
+	}
+	build("histogram", "SSE", 8)
+	build("wavelet", "SAE", 8)
+
+	offline := map[string]probsyn.Synopsis{}
+	for family, opts := range map[string][]probsyn.BuildOption{
+		"histogram": {probsyn.WithParams(probsyn.Params{C: 0.5})},
+		"wavelet":   {probsyn.WithParams(probsyn.Params{C: 0.5}), probsyn.WithWavelet()},
+	} {
+		m := probsyn.SSE
+		if family == "wavelet" {
+			m = probsyn.SAE
+		}
+		syn, err := probsyn.Build(src, m, 8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline[family] = syn
+	}
+
+	for family, metric := range map[string]string{"histogram": "SSE", "wavelet": "SAE"} {
+		for i := 0; i < src.Domain(); i += 11 {
+			url := fmt.Sprintf("%s/v1/estimate?dataset=ds&family=%s&metric=%s&budget=8&i=%d", base, family, metric, i)
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var er struct {
+				Estimate float64 `json:"estimate"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if want := offline[family].Estimate(i); er.Estimate != want {
+				t.Fatalf("%s: served Estimate(%d) = %v, offline %v", family, i, er.Estimate, want)
+			}
+		}
+		// Replica byte-interchangeability: the persisted envelope equals
+		// the offline marshal of the same build.
+		key, err := catalog.NewKey("ds", family, metric, 8, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk, err := os.ReadFile(filepath.Join(catDir, key.Filename()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := probsyn.MarshalSynopsis(offline[family])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(onDisk, want) {
+			t.Fatalf("%s: persisted envelope differs from offline bytes", family)
+		}
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// Restart against the same catalog: the persisted synopses serve
+	// without rebuilding.
+	base2, out2, stop2 := startPsynd(t, []string{"-data", dataDir, "-catalog", catDir})
+	if !strings.Contains(out2.String(), "loaded 2 synopses") {
+		t.Fatalf("restart did not preload the catalog:\n%s", out2.String())
+	}
+	resp, err := http.Get(base2 + "/v1/synopses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Synopses []json.RawMessage `json:"synopses"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Synopses) != 2 {
+		t.Fatalf("restarted server lists %d synopses, want 2", len(list.Synopses))
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("graceful shutdown after restart: %v", err)
+	}
+}
+
+func TestRunRequiresDataDir(t *testing.T) {
+	if err := run(context.Background(), nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("run with no -data succeeded")
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	if err := run(context.Background(), []string{"-h"}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+}
+
+func TestRunUnknownFlagIsParseError(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, &bytes.Buffer{}); !errors.Is(err, errParse) {
+		t.Fatalf("unknown flag returned %v, want errParse", err)
+	}
+}

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"probsyn"
@@ -24,7 +25,7 @@ func main() {
 	const B = 48
 	h, err := probsyn.OptimalHistogram(links, probsyn.SSRE, probsyn.Params{C: 0.5}, B)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("\noptimal %d-bucket SSRE histogram: expected error %.4f\n", B, h.Cost)
 	fmt.Println("widest and narrowest buckets:")
@@ -46,7 +47,7 @@ func main() {
 	// cost increase for a faster build.
 	apx, err := probsyn.ApproxHistogram(links, probsyn.SSRE, probsyn.Params{C: 0.5}, B, 0.25)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("\n(1+0.25)-approximate histogram: expected error %.4f (%.2fx optimal)\n",
 		apx.Cost, apx.Cost/h.Cost)
@@ -55,7 +56,7 @@ func main() {
 	// contrast.
 	ed, err := probsyn.EquiDepthHistogram(links, probsyn.SSRE, probsyn.Params{C: 0.5}, B)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("equi-depth heuristic:            expected error %.4f (%.2fx optimal)\n",
 		ed.Cost, ed.Cost/h.Cost)
@@ -63,7 +64,7 @@ func main() {
 	// Wavelets: the SSE-optimal synopsis and a restricted SAE synopsis.
 	syn, rep, err := probsyn.SSEWavelet(links, B)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("\n%d-term SSE wavelet: captures %.2f%% of reducible energy\n",
 		syn.B(), 100-rep.ErrorPercent())
@@ -74,7 +75,7 @@ func main() {
 		probsyn.WithParams(probsyn.Params{C: 0.5}),
 		probsyn.WithWavelet(), probsyn.WithParallelism(0))
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	rsyn := rs.(*probsyn.WaveletSynopsis)
 	fmt.Printf("12-term restricted SAE wavelet: expected error %.2f, retained indices %v\n",

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"probsyn"
@@ -29,11 +30,11 @@ func main() {
 	const B = 32
 	h, err := probsyn.Build(lineitem, probsyn.SSE, B, probsyn.WithParallelism(0))
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	syn, err := probsyn.Build(lineitem, probsyn.SSE, B, probsyn.WithWavelet())
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("synopses: %d-bucket SSE histogram, %d-term wavelet\n\n", h.Terms(), syn.Terms())
 

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"probsyn"
 )
@@ -34,7 +35,7 @@ func main() {
 		}
 	}
 	if err := vp.Validate(); err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 
 	fmt.Println("== expected frequencies ==")
@@ -46,7 +47,7 @@ func main() {
 	// paper's Eq. 5 objective).
 	h, err := probsyn.OptimalHistogram(vp, probsyn.SSE, probsyn.DefaultParams(), 3)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("\n== optimal 3-bucket SSE histogram (expected error %.3f) ==\n", h.Cost)
 	for _, b := range h.Buckets {
@@ -57,7 +58,7 @@ func main() {
 	// differently: small frequencies matter more.
 	hr, err := probsyn.OptimalHistogram(vp, probsyn.SARE, probsyn.Params{C: 0.5}, 3)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("\n== optimal 3-bucket SARE histogram (expected error %.3f) ==\n", hr.Cost)
 	for _, b := range hr.Buckets {
@@ -67,7 +68,7 @@ func main() {
 	// A 4-coefficient wavelet synopsis under expected SSE (Theorem 7).
 	syn, rep, err := probsyn.SSEWavelet(vp, 4)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("\n== 4-term SSE wavelet synopsis ==\n")
 	fmt.Printf("expected SSE %.3f (irreducible variance %.3f, dropped energy %.2f%%)\n",
@@ -85,11 +86,11 @@ func main() {
 	for _, s := range []probsyn.Synopsis{h, syn} {
 		blob, err := probsyn.MarshalSynopsis(s)
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		back, err := probsyn.UnmarshalSynopsis(blob)
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		fmt.Printf("%T: %d terms, expected error %.3f, %d bytes on the wire, "+
 			"range-sum[0..15] %.2f == %.2f after reload\n",

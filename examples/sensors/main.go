@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"probsyn"
@@ -33,7 +34,7 @@ func main() {
 	}
 	series, err := exp.Run()
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Println("\nexpected sum-absolute error by construction method:")
 	fmt.Printf("%-16s", "buckets")
@@ -56,7 +57,7 @@ func main() {
 	// Use the optimal histogram to answer monitoring queries.
 	h, err := probsyn.OptimalHistogram(readings, probsyn.SAE, probsyn.Params{C: 0.5}, 24)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	exact := readings.ExpectedFreqs()
 	fmt.Println("\nregion monitoring (expected total reading per region):")

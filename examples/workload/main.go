@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"probsyn"
@@ -38,13 +39,13 @@ func main() {
 	uniformSyn, err := probsyn.Build(readings, probsyn.SSEFixed, B,
 		probsyn.WithParallelism(0))
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	uniform := uniformSyn.(*probsyn.Histogram)
 	weightedSyn, err := probsyn.Build(readings, probsyn.SSEFixed, B,
 		probsyn.WithWorkloadWeights(weights), probsyn.WithParallelism(0))
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	weighted := weightedSyn.(*probsyn.Histogram)
 
@@ -81,11 +82,11 @@ func main() {
 	slice := &probsyn.ValuePDF{N: 16, Items: readings.Items[:16]}
 	_, restricted, err := probsyn.RestrictedWavelet(slice, probsyn.SAE, probsyn.Params{C: 0.5}, 3)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	_, unrestricted, err := probsyn.UnrestrictedWavelet(slice, probsyn.SAE, probsyn.Params{C: 0.5}, 3, 6)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("\n3-term SAE wavelet over 16 sensors:\n")
 	fmt.Printf("restricted (values = expected coefficients): expected error %.4f\n", restricted)

@@ -1,0 +1,380 @@
+// Package catalog is the serving layer's synopsis registry: an in-memory,
+// read-mostly map from (dataset, family, metric, budget) to a built
+// synopsis, with a disk format that is nothing but the existing versioned
+// synopsis envelope under a key-encoding filename. A long-lived server
+// loads a catalog directory at startup, answers estimates from memory
+// under an RWMutex, and persists each newly built synopsis back to the
+// directory; offline tools (cmd/psyn, the eval harness) write the same
+// files, so a synopsis built anywhere is servable everywhere — and since
+// the engine's builds are deterministic, replicas that build the same key
+// produce byte-identical catalog files.
+package catalog
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"probsyn/internal/metric"
+	"probsyn/internal/synopsis"
+)
+
+// The two synopsis families, as catalog key vocabulary. These match the
+// codec type names registered by internal/synopsis.
+const (
+	FamilyHistogram = "histogram"
+	FamilyWavelet   = "wavelet"
+)
+
+// Key identifies one synopsis in the catalog: which dataset it
+// summarizes, which family it is, which error metric (with its sanity
+// constant, for relative-error metrics) it was optimized for, and its
+// term budget.
+type Key struct {
+	Dataset string `json:"dataset"`
+	Family  string `json:"family"`
+	Metric  string `json:"metric"`
+	Budget  int    `json:"budget"`
+	// C is the relative-error sanity constant the synopsis was built
+	// with; always 0 for metrics that do not use it, so equal builds
+	// compare equal. Synopses for the same metric under different C
+	// optimize different objectives and must not be served
+	// interchangeably.
+	C float64 `json:"c,omitempty"`
+}
+
+// NewKey canonicalizes and validates the fields of a key: the metric is
+// round-tripped through metric.Parse so "SSE-fixed" and friends are
+// spelled exactly one way, c is zeroed for metrics that ignore it, the
+// family must be a known one, and dataset must be non-empty.
+func NewKey(dataset, family, metricName string, budget int, c float64) (Key, error) {
+	if dataset == "" {
+		return Key{}, fmt.Errorf("catalog: empty dataset name")
+	}
+	if family != FamilyHistogram && family != FamilyWavelet {
+		return Key{}, fmt.Errorf("catalog: unknown family %q (want %q or %q)", family, FamilyHistogram, FamilyWavelet)
+	}
+	k, err := metric.Parse(metricName)
+	if err != nil {
+		return Key{}, fmt.Errorf("catalog: %w", err)
+	}
+	if budget < 1 {
+		return Key{}, fmt.Errorf("catalog: budget %d, want >= 1", budget)
+	}
+	if !k.Relative() {
+		c = 0
+	} else if c <= 0 {
+		return Key{}, fmt.Errorf("catalog: metric %v needs a sanity constant c > 0, got %g", k, c)
+	}
+	return Key{Dataset: dataset, Family: family, Metric: k.String(), Budget: budget, C: c}, nil
+}
+
+// String renders the key in its canonical human-readable form.
+func (k Key) String() string {
+	if k.C != 0 {
+		return fmt.Sprintf("%s/%s/%s(c=%g)/%d", k.Dataset, k.Family, k.Metric, k.C, k.Budget)
+	}
+	return fmt.Sprintf("%s/%s/%s/%d", k.Dataset, k.Family, k.Metric, k.Budget)
+}
+
+// Filename encodes the key as a catalog filename:
+// <dataset>--<family>--<metric>[--c<C>]--b<budget>.psyn, with the
+// dataset percent-escaped so arbitrary names cannot collide with the
+// separators or escape the directory. The c segment appears exactly for
+// relative-error metrics, so builds under different sanity constants
+// land in different files.
+func (k Key) Filename() string {
+	if k.C != 0 {
+		return fmt.Sprintf("%s--%s--%s--c%g--b%d.psyn", url.PathEscape(k.Dataset), k.Family, k.Metric, k.C, k.Budget)
+	}
+	return fmt.Sprintf("%s--%s--%s--b%d.psyn", url.PathEscape(k.Dataset), k.Family, k.Metric, k.Budget)
+}
+
+// ParseFilename inverts Filename. Files that do not follow the encoding
+// (or fail key validation) are rejected, so a catalog directory can hold
+// unrelated files without confusing a load.
+func ParseFilename(name string) (Key, error) {
+	base, ok := strings.CutSuffix(name, ".psyn")
+	if !ok {
+		return Key{}, fmt.Errorf("catalog: %q is not a catalog file (want .psyn)", name)
+	}
+	// Family, metric, the optional c, and budget never contain the
+	// separator, so they are the trailing segments; anything before them
+	// (an escaped dataset name may itself contain "--") rejoins into the
+	// dataset.
+	parts := strings.Split(base, "--")
+	if len(parts) < 4 || !strings.HasPrefix(parts[len(parts)-1], "b") {
+		return Key{}, fmt.Errorf("catalog: filename %q does not encode a key", name)
+	}
+	budget, err := strconv.Atoi(parts[len(parts)-1][1:])
+	if err != nil {
+		return Key{}, fmt.Errorf("catalog: filename %q: bad budget: %w", name, err)
+	}
+	c, tail := 0.0, 2 // trailing segments after family: metric [c] budget
+	if seg := parts[len(parts)-2]; strings.HasPrefix(seg, "c") {
+		if c, err = strconv.ParseFloat(seg[1:], 64); err != nil {
+			return Key{}, fmt.Errorf("catalog: filename %q: bad sanity constant: %w", name, err)
+		}
+		tail = 3
+	}
+	if len(parts) < tail+2 {
+		return Key{}, fmt.Errorf("catalog: filename %q does not encode a key", name)
+	}
+	dataset, err := url.PathUnescape(strings.Join(parts[:len(parts)-tail-1], "--"))
+	if err != nil {
+		return Key{}, fmt.Errorf("catalog: filename %q: %w", name, err)
+	}
+	key, err := NewKey(dataset, parts[len(parts)-tail-1], parts[len(parts)-tail], budget, c)
+	if err != nil {
+		return Key{}, err
+	}
+	// A c segment on a non-relative metric (or a missing one on a
+	// relative metric) is not a name Filename produces; reject it so the
+	// round trip stays injective.
+	if key.Filename() != name {
+		return Key{}, fmt.Errorf("catalog: filename %q does not round-trip its key %v", name, key)
+	}
+	return key, nil
+}
+
+// Entry is one cataloged synopsis with its serialized size (the bytes the
+// envelope occupies on disk and on replication wires).
+type Entry struct {
+	Key      Key
+	Synopsis synopsis.Synopsis
+	Bytes    int
+}
+
+// Catalog is the in-memory registry. Reads (Get, List, Len) take the
+// read lock so estimate traffic scales across cores; Put takes the write
+// lock only for the map insert — synopsis construction and serialization
+// happen outside it.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[Key]*Entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{entries: make(map[Key]*Entry)}
+}
+
+// Put registers a synopsis under the key, replacing any previous entry
+// (rebuilds of the same key are idempotent by determinism, so replacing
+// is safe). It serializes once to record the entry's size and returns
+// the entry; the encoded bytes are returned alongside so callers
+// persisting to disk do not marshal twice.
+func (c *Catalog) Put(key Key, syn synopsis.Synopsis) (*Entry, []byte, error) {
+	blob, err := synopsis.Marshal(syn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.PutEncoded(key, syn, blob), blob, nil
+}
+
+// PutEncoded is Put for callers that already hold the synopsis's
+// envelope bytes (a loaded catalog file, a just-persisted build): the
+// entry records the blob's size without re-marshaling, and the blob is
+// not retained — the catalog keeps only the decoded synopsis.
+func (c *Catalog) PutEncoded(key Key, syn synopsis.Synopsis, blob []byte) *Entry {
+	e := &Entry{Key: key, Synopsis: syn, Bytes: len(blob)}
+	c.mu.Lock()
+	c.entries[key] = e
+	c.mu.Unlock()
+	return e
+}
+
+// Get returns the entry for the key, if present.
+func (c *Catalog) Get(key Key) (*Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Len returns the number of cataloged synopses.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// List returns the entries sorted by key, for stable listings.
+func (c *Catalog) List() []*Entry {
+	c.mu.RLock()
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		ka, kb := out[a].Key, out[b].Key
+		if ka.Dataset != kb.Dataset {
+			return ka.Dataset < kb.Dataset
+		}
+		if ka.Family != kb.Family {
+			return ka.Family < kb.Family
+		}
+		if ka.Metric != kb.Metric {
+			return ka.Metric < kb.Metric
+		}
+		if ka.C != kb.C {
+			return ka.C < kb.C
+		}
+		return ka.Budget < kb.Budget
+	})
+	return out
+}
+
+// Save persists the entry's synopsis into dir under its key-encoded
+// filename and returns the path written. It re-marshals the synopsis —
+// deliberately: entries do not retain their envelope bytes, because a
+// long-lived serving catalog holding both the decoded synopsis and its
+// serialized copy would double steady-state memory, and Save runs only
+// on the offline SaveAll path where one extra marshal is cheap. The
+// write is atomic (WriteBlob), so a crash mid-save cannot leave a
+// truncated catalog file behind a valid name.
+func (c *Catalog) Save(dir string, e *Entry) (string, error) {
+	blob, err := synopsis.Marshal(e.Synopsis)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, e.Key.Filename())
+	if err := WriteBlob(path, blob); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteBlob writes an already-encoded envelope to path atomically: into
+// a temp file in the same directory, then rename. LoadDir fails loudly
+// on a corrupt catalog file, so persistence must never expose a
+// partially written one — a crash leaves at worst a stray .tmp, which
+// LoadDir skips.
+func WriteBlob(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// SaveAll persists every entry into dir (created if missing), returning
+// how many files were written.
+func (c *Catalog) SaveAll(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range c.List() {
+		if _, err := c.Save(dir, e); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// LoadDir loads every key-encoded synopsis file in dir into the catalog
+// through the envelope decoder, returning how many entries were loaded.
+// Files that are not catalog files are skipped; a catalog file whose
+// payload fails to decode (or whose envelope type disagrees with the
+// family its name claims) is an error — a corrupt catalog must fail
+// loudly at startup, not serve wrong estimates.
+func (c *Catalog) LoadDir(dir string) (int, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		key, err := ParseFilename(de.Name())
+		if err != nil {
+			continue // not a catalog file
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return n, fmt.Errorf("catalog: %s: %w", de.Name(), err)
+		}
+		syn, err := synopsis.Unmarshal(blob)
+		if err != nil {
+			return n, fmt.Errorf("catalog: %s: %w", de.Name(), err)
+		}
+		if fam := familyOf(syn); fam != key.Family {
+			return n, fmt.Errorf("catalog: %s: envelope holds a %s, filename claims %s", de.Name(), fam, key.Family)
+		}
+		c.PutEncoded(key, syn, blob)
+		n++
+	}
+	return n, nil
+}
+
+// familyOf maps a decoded synopsis to its catalog family via the codec
+// registry's type names (which double as family names).
+func familyOf(s synopsis.Synopsis) string {
+	name, err := synopsis.TypeName(s)
+	if err != nil {
+		return ""
+	}
+	return name
+}
+
+// WriteFile serializes a synopsis to path through the versioned codec:
+// the JSON envelope when the path ends in .json, the binary envelope
+// otherwise. It returns the byte count written. This is the one save
+// path shared by cmd/psyn, the eval harness, and the server's catalog
+// persistence.
+func WriteFile(path string, syn synopsis.Synopsis) (int, error) {
+	var (
+		data []byte
+		err  error
+	)
+	if strings.HasSuffix(path, ".json") {
+		data, err = synopsis.MarshalJSON(syn)
+	} else {
+		data, err = synopsis.Marshal(syn)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteBlob(path, data); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// ReadFile loads a synopsis from path through the envelope-sniffing
+// decoder — the matching load path.
+func ReadFile(path string) (synopsis.Synopsis, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return synopsis.Unmarshal(data)
+}

@@ -15,15 +15,22 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultGrain is the minimum number of unit operations a dispatch must
 // contain before it fans out: fanning goroutines out over tiny ranges
 // costs more than the loop itself.
 const DefaultGrain = 2048
+
+// DynamicChunkFactor is how many chunks per worker a dynamic dispatch
+// cuts: fine enough that one straggling chunk cannot idle the other
+// workers for long, coarse enough that the atomic cursor stays cold.
+const DynamicChunkFactor = 8
 
 // Options configure a Pool.
 type Options struct {
@@ -34,18 +41,35 @@ type Options struct {
 	// push small inputs through the parallel schedule — it is an Options
 	// field, not a package global, so concurrent tests cannot race on it.
 	Grain int
+	// MaxBuilds caps how many builds the pool admits concurrently
+	// (Acquire blocks past the cap); <= 0 means unlimited. One
+	// process-wide pool with MaxBuilds set is the serving layer's
+	// admission control: N queued builds share the pool's workers
+	// instead of oversubscribing cores with per-call pools.
+	MaxBuilds int
+	// Dynamic selects the work-stealing chunk dispatch (MapChunksDynamic)
+	// for clients that route through Dispatch: levels whose per-element
+	// cost is ragged — the unrestricted wavelet DP's state-count skew —
+	// finish earlier when idle workers can pull finer chunks off an
+	// atomic cursor. Results are bit-identical either way; see
+	// MapChunksDynamic.
+	Dynamic bool
 }
 
-// Pool executes chunked sweeps and deterministic min-reductions. A Pool is
-// immutable after New and safe for concurrent use; it holds no goroutines
-// between dispatches.
+// Pool executes chunked sweeps and deterministic min-reductions, and
+// meters build admission. A Pool is immutable after New and safe for
+// concurrent use; it holds no goroutines between dispatches.
 type Pool struct {
-	workers int
-	grain   int
+	workers  int
+	grain    int
+	dynamic  bool
+	sem      chan struct{} // admission tokens; nil = unlimited
+	inflight atomic.Int32
+	peak     atomic.Int32
 }
 
 // New returns a pool for the given options (zero value: NumCPU workers,
-// DefaultGrain).
+// DefaultGrain, unlimited admission, static dispatch).
 func New(o Options) *Pool {
 	w := o.Workers
 	if w <= 0 {
@@ -55,7 +79,11 @@ func New(o Options) *Pool {
 	if g <= 0 {
 		g = DefaultGrain
 	}
-	return &Pool{workers: w, grain: g}
+	p := &Pool{workers: w, grain: g, dynamic: o.Dynamic}
+	if o.MaxBuilds > 0 {
+		p.sem = make(chan struct{}, o.MaxBuilds)
+	}
+	return p
 }
 
 // Serial returns a single-worker pool: every dispatch runs inline.
@@ -63,6 +91,63 @@ func Serial() *Pool { return New(Options{Workers: 1}) }
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// MaxBuilds returns the pool's admission cap (0 = unlimited).
+func (p *Pool) MaxBuilds() int {
+	if p == nil || p.sem == nil {
+		return 0
+	}
+	return cap(p.sem)
+}
+
+// Acquire blocks until the pool admits one more build (or ctx is done)
+// and returns the token's release func. Callers bracket each synopsis
+// build with Acquire/release so that however many goroutines request
+// builds, at most MaxBuilds DPs dispatch onto the pool's workers at
+// once. With no cap configured (or on a nil pool) Acquire is a no-op
+// that never blocks. release is idempotent.
+func (p *Pool) Acquire(ctx context.Context) (release func(), err error) {
+	if p == nil || p.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	n := p.inflight.Add(1)
+	for {
+		old := p.peak.Load()
+		if n <= old || p.peak.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.inflight.Add(-1)
+			<-p.sem
+		})
+	}, nil
+}
+
+// InFlight returns the number of currently admitted builds.
+func (p *Pool) InFlight() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.inflight.Load())
+}
+
+// PeakInFlight returns the high-water mark of concurrently admitted
+// builds over the pool's lifetime — the number admission control is
+// asserted against in tests (it can never exceed MaxBuilds).
+func (p *Pool) PeakInFlight() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.peak.Load())
+}
 
 // Chunks returns how many chunks a dispatch with the given total work
 // estimate fans out to: 1 when the pool is serial or the work is below the
@@ -98,6 +183,60 @@ func (p *Pool) MapChunks(lo, hi, work int, fn func(w, clo, chi int)) {
 			defer wg.Done()
 			fn(w, clo, chi)
 		}(w, clo, chi)
+	}
+	wg.Wait()
+}
+
+// Dispatch routes a chunked sweep to MapChunksDynamic when the pool was
+// built with Options.Dynamic, and to MapChunks otherwise. Clients whose
+// per-chunk result slots are derived from the index range (not from the
+// chunk index) can switch schedules freely: both produce bit-identical
+// results. Like every dispatch here, it is safe on a nil pool — Chunks
+// nil-checks before touching any field, so the sweep runs inline.
+func (p *Pool) Dispatch(lo, hi, work int, fn func(w, clo, chi int)) {
+	if p != nil && p.dynamic {
+		p.MapChunksDynamic(lo, hi, work, fn)
+		return
+	}
+	p.MapChunks(lo, hi, work, fn)
+}
+
+// MapChunksDynamic is MapChunks with work stealing: the range is cut
+// into DynamicChunkFactor-times finer chunks and the pool's workers pull
+// chunk indices off a shared atomic cursor, so ragged per-chunk costs
+// (per-node state-count skew in the unrestricted wavelet DP's levels) do
+// not leave workers idle behind one slow even split. The determinism
+// contract is unchanged — chunks are the same contiguous sub-ranges
+// regardless of which worker runs them, each element is processed in
+// serial order within its chunk, and fn must only write state derived
+// from its own chunk index or range — so results stay bit-identical to
+// MapChunks at every worker count. Chunk indices w are dense in
+// [0, parts) with parts > Workers(); clients sizing per-chunk slot
+// arrays by chunk index must use static MapChunks instead.
+func (p *Pool) MapChunksDynamic(lo, hi, work int, fn func(w, clo, chi int)) {
+	if p.Chunks(work) == 1 {
+		fn(0, lo, hi)
+		return
+	}
+	parts := p.workers * DynamicChunkFactor
+	if span := hi - lo; parts > span {
+		parts = span // below p.workers only when the range itself is tiny
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1) - 1)
+				if c >= parts {
+					return
+				}
+				clo, chi := ChunkBounds(c, parts, lo, hi)
+				fn(c, clo, chi)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -116,6 +118,177 @@ func TestReduceMinEmptyRange(t *testing.T) {
 	})
 	if got.Arg >= 0 || !math.IsInf(got.Value, 1) {
 		t.Fatalf("empty reduce = %+v, want identity", got)
+	}
+}
+
+// MapChunksDynamic must preserve MapChunks's coverage contract — every
+// index visited exactly once — while cutting finer chunks than workers.
+func TestMapChunksDynamicVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(Options{Workers: workers, Grain: 1})
+		for _, span := range []int{0, 1, 2, 5, 100, 1000} {
+			visits := make([]int32, span)
+			maxChunk := int32(-1)
+			p.MapChunksDynamic(0, span, span, func(w, lo, hi int) {
+				for {
+					old := atomic.LoadInt32(&maxChunk)
+					if int32(w) <= old || atomic.CompareAndSwapInt32(&maxChunk, old, int32(w)) {
+						break
+					}
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d span=%d: index %d visited %d times", workers, span, i, v)
+				}
+			}
+			if workers > 1 && span >= workers*DynamicChunkFactor {
+				if want := int32(workers*DynamicChunkFactor - 1); maxChunk != want {
+					t.Fatalf("workers=%d span=%d: max chunk index %d, want %d", workers, span, maxChunk, want)
+				}
+			}
+		}
+	}
+}
+
+// A dynamic pool's Dispatch must fill range-derived slots identically to
+// a static pool's, including when per-element work is ragged.
+func TestDispatchDynamicMatchesStatic(t *testing.T) {
+	const span = 513
+	fill := func(p *Pool) []float64 {
+		out := make([]float64, span)
+		p.Dispatch(0, span, span, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := float64(i)
+				for k := 0; k < i%17; k++ { // ragged per-element cost
+					v = v*1.0000001 + float64(k)
+				}
+				out[i] = v
+			}
+		})
+		return out
+	}
+	want := fill(Serial())
+	for _, workers := range []int{2, 3, 8} {
+		for _, dynamic := range []bool{false, true} {
+			got := fill(New(Options{Workers: workers, Grain: 1, Dynamic: dynamic}))
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d dynamic=%v: slot %d = %v, want %v", workers, dynamic, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Every dispatch must run inline on a nil pool, not panic: Chunks
+// nil-checks before any field access.
+func TestDispatchNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	for name, dispatch := range map[string]func(lo, hi, work int, fn func(w, clo, chi int)){
+		"Dispatch": p.Dispatch, "MapChunks": p.MapChunks, "MapChunksDynamic": p.MapChunksDynamic,
+	} {
+		calls := 0
+		dispatch(3, 7, 1<<20, func(w, clo, chi int) {
+			calls++
+			if w != 0 || clo != 3 || chi != 7 {
+				t.Fatalf("%s: nil pool chunk (%d, %d, %d), want (0, 3, 7)", name, w, clo, chi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("%s: nil pool made %d calls, want 1 inline", name, calls)
+		}
+	}
+}
+
+// Acquire must bound concurrently admitted builds at MaxBuilds: the
+// high-water mark of holders inside the critical section can never
+// exceed the cap, and every blocked Acquire is eventually admitted.
+func TestAcquireBoundsInFlightBuilds(t *testing.T) {
+	const cap, callers = 3, 16
+	p := New(Options{Workers: 1, MaxBuilds: cap})
+	if p.MaxBuilds() != cap {
+		t.Fatalf("MaxBuilds() = %d, want %d", p.MaxBuilds(), cap)
+	}
+	var inside, peak int32
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := atomic.AddInt32(&inside, 1)
+			for {
+				old := atomic.LoadInt32(&peak)
+				if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+					break
+				}
+			}
+			runtime.Gosched()
+			atomic.AddInt32(&inside, -1)
+			release()
+			release() // idempotent: double release must not free a second token
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&peak); got > cap {
+		t.Fatalf("%d concurrent holders, cap %d", got, cap)
+	}
+	if got := p.PeakInFlight(); got > cap || got < 1 {
+		t.Fatalf("PeakInFlight() = %d, want in [1, %d]", got, cap)
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight() = %d after all releases, want 0", got)
+	}
+	// All tokens must be free again: cap sequential acquires succeed.
+	for k := 0; k < cap; k++ {
+		release, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer release()
+	}
+}
+
+func TestAcquireHonorsContextCancel(t *testing.T) {
+	p := New(Options{Workers: 1, MaxBuilds: 1})
+	release, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Acquire(ctx); err == nil {
+		t.Fatal("Acquire with cancelled context succeeded while pool was full")
+	}
+	release()
+	release2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	release2()
+}
+
+// An uncapped (or nil) pool admits everything without blocking.
+func TestAcquireUnlimitedIsNoOp(t *testing.T) {
+	for name, p := range map[string]*Pool{"uncapped": Serial(), "nil": nil} {
+		for k := 0; k < 100; k++ {
+			release, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			release()
+		}
+		if p.MaxBuilds() != 0 {
+			t.Fatalf("%s: MaxBuilds() = %d, want 0", name, p.MaxBuilds())
+		}
 	}
 }
 

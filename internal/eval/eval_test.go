@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"probsyn/internal/catalog"
+	"probsyn/internal/engine"
 	"probsyn/internal/eval"
 	"probsyn/internal/gen"
 	"probsyn/internal/hist"
@@ -65,6 +67,58 @@ func TestHistogramExperimentOrdering(t *testing.T) {
 		}
 		if pts[0].ErrorPct < 99.9 {
 			t.Fatalf("%v: B=1 error%% = %v, want 100", k, pts[0].ErrorPct)
+		}
+	}
+}
+
+// An experiment run on a shared engine pool must report identical series
+// to the per-call default, and when given a catalog it must stash the
+// probabilistic histogram for every budget with the costs the series
+// reports — the entries the serving layer answers from.
+func TestHistogramExperimentSharedPoolAndCatalog(t *testing.T) {
+	src := smallLinkage(t, 120)
+	budgets := []int{1, 2, 5, 10}
+	base := &eval.HistogramExperiment{
+		Source: src, Metric: metric.SAE, Params: metric.Params{C: 0.5},
+		Budgets: budgets, Samples: 1, Rng: rand.New(rand.NewSource(3)),
+	}
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	pooled := &eval.HistogramExperiment{
+		Source: src, Metric: metric.SAE, Params: metric.Params{C: 0.5},
+		Budgets: budgets, Samples: 1, Rng: rand.New(rand.NewSource(3)),
+		Pool:    engine.New(engine.Options{Workers: 4, Grain: 1}),
+		Catalog: cat, Dataset: "linkage",
+	}
+	got, err := pooled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i].Points {
+			if got[i].Points[j] != want[i].Points[j] {
+				t.Fatalf("series %d point %d: pooled %+v != per-call %+v", i, j, got[i].Points[j], want[i].Points[j])
+			}
+		}
+	}
+	if cat.Len() != len(budgets) {
+		t.Fatalf("catalog has %d entries, want %d", cat.Len(), len(budgets))
+	}
+	prob := findSeries(want, eval.Probabilistic)
+	for j, b := range budgets {
+		key, err := catalog.NewKey("linkage", catalog.FamilyHistogram, "SAE", b, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, ok := cat.Get(key)
+		if !ok {
+			t.Fatalf("catalog missing %v", key)
+		}
+		if e.Synopsis.ErrorCost() != prob.Points[j].Cost {
+			t.Fatalf("B=%d: cataloged cost %v != series cost %v", b, e.Synopsis.ErrorCost(), prob.Points[j].Cost)
 		}
 	}
 }

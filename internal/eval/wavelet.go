@@ -7,6 +7,8 @@ import (
 	"sort"
 	"time"
 
+	"probsyn/internal/catalog"
+	"probsyn/internal/engine"
 	"probsyn/internal/haar"
 	"probsyn/internal/metric"
 	"probsyn/internal/pdata"
@@ -109,6 +111,15 @@ type WaveletDPExperiment struct {
 	Params      metric.Params
 	Budgets     []int
 	Parallelism int
+	// Pool, when non-nil, schedules every build on this shared engine
+	// pool (Parallelism is then ignored), matching the serving layer's
+	// one-pool-per-process discipline.
+	Pool *engine.Pool
+	// Catalog, when non-nil, receives each built wavelet synopsis keyed
+	// under Dataset — the same entries psynd serves.
+	Catalog *catalog.Catalog
+	// Dataset names the source in catalog keys; required with Catalog.
+	Dataset string
 }
 
 // Run executes the experiment.
@@ -116,20 +127,33 @@ func (e *WaveletDPExperiment) Run() ([]WaveletDPPoint, error) {
 	if len(e.Budgets) == 0 {
 		return nil, fmt.Errorf("eval: no budgets")
 	}
-	workers := e.Parallelism
-	if workers == 0 {
-		workers = 1
+	pool := e.Pool
+	if pool == nil {
+		workers := e.Parallelism
+		if workers == 0 {
+			workers = 1
+		}
+		pool = engine.New(engine.Options{Workers: workers})
 	}
 	out := make([]WaveletDPPoint, 0, len(e.Budgets))
 	for _, B := range e.Budgets {
 		start := time.Now()
-		syn, cost, err := wavelet.BuildRestrictedWorkers(e.Source, e.Metric, e.Params, B, workers)
+		syn, cost, err := wavelet.BuildRestrictedPool(e.Source, e.Metric, e.Params, B, pool)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, WaveletDPPoint{
 			B: B, Seconds: time.Since(start).Seconds(), Cost: cost, Terms: syn.B(),
 		})
+		if e.Catalog != nil {
+			key, err := catalog.NewKey(e.Dataset, catalog.FamilyWavelet, e.Metric.String(), B, e.Params.C)
+			if err != nil {
+				return nil, err
+			}
+			if _, _, err := e.Catalog.Put(key, syn); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return out, nil
 }

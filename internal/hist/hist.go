@@ -44,6 +44,9 @@ func (h *Histogram) Terms() int { return len(h.Buckets) }
 // built for, implementing the shared synopsis interface.
 func (h *Histogram) ErrorCost() float64 { return h.Cost }
 
+// Domain returns the item-domain size the histogram summarizes.
+func (h *Histogram) Domain() int { return h.N }
+
 // Estimate returns the histogram's approximation ĝ_i of item i's frequency.
 func (h *Histogram) Estimate(i int) float64 {
 	k := sort.Search(len(h.Buckets), func(k int) bool { return h.Buckets[k].End >= i })

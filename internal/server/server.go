@@ -1,0 +1,565 @@
+// Package server is the probsyn serving layer: an HTTP surface over the
+// synopsis catalog and the shared build pool. The paper's economics —
+// one expensive DP build amortized over many cheap point/range estimates
+// — is exactly a long-lived process, so the server keeps every built
+// synopsis in an in-memory catalog (read-mostly, answering estimates
+// under a read lock) and accepts build requests onto a bounded FIFO
+// queue drained by a fixed set of workers. The workers all build through
+// one process-wide engine.Pool whose MaxBuilds admission cap bounds how
+// many DPs run at once, however many requests arrive; everything else
+// waits in the queue. Builds are deterministic, so two replicas serving
+// the same catalog key answer byte-identically.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/build     {dataset, family, metric, budget, wait?} — enqueue
+//	                   a build; with wait=true the response reports the
+//	                   completed build (or its error).
+//	GET  /v1/estimate  ?dataset=&family=&metric=&budget=&i=     — point
+//	                   estimate from the catalog.
+//	GET  /v1/rangesum  ?dataset=&family=&metric=&budget=&lo=&hi= — range
+//	                   estimate from the catalog.
+//	GET  /v1/synopses  — list catalog entries.
+//
+// Errors are typed: {"error": {"code", "message"}} with codes
+// bad_request, not_found, queue_full, build_failed, shutting_down.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"probsyn"
+	"probsyn/internal/catalog"
+	"probsyn/internal/engine"
+)
+
+// Config assembles a Server. Catalog and Pool are shared, process-wide
+// state: psynd creates one of each and hands them to the server, the
+// offline tools read and write the same catalog files.
+type Config struct {
+	// DataDir holds the buildable datasets: dataset name "x" resolves to
+	// DataDir/x.pd in the probsyn text format.
+	DataDir string
+	// CatalogDir, when non-empty, is where newly built synopses are
+	// persisted (and typically where the catalog was preloaded from).
+	CatalogDir string
+	// Catalog is the in-memory synopsis registry estimates answer from.
+	Catalog *catalog.Catalog
+	// Pool is the process-wide build pool; its MaxBuilds cap is the
+	// admission control on concurrent build DPs.
+	Pool *engine.Pool
+	// QueueDepth bounds the build FIFO; <= 0 means DefaultQueueDepth.
+	// A full queue rejects new builds with queue_full instead of letting
+	// requests pile up unboundedly.
+	QueueDepth int
+	// BuildWorkers is how many goroutines drain the queue; <= 0 means
+	// DefaultBuildWorkers. Workers beyond the pool's MaxBuilds cap wait
+	// for build tokens inside probsyn.Build.
+	BuildWorkers int
+	// C is the sanity constant handed to relative-error metric builds.
+	C float64
+	// Logf, when non-nil, receives operational log lines (failed builds
+	// especially — an async wait:false build has no response to carry
+	// its error, so the log is where it surfaces). Nil means the
+	// standard library logger.
+	Logf func(format string, args ...any)
+}
+
+// Queue and worker defaults for the zero Config.
+const (
+	DefaultQueueDepth   = 64
+	DefaultBuildWorkers = 2
+)
+
+// Server owns the build queue and the HTTP handlers.
+type Server struct {
+	cfg   Config
+	queue chan *buildJob
+
+	// closing gates enqueues: Shutdown takes the write lock to set
+	// closed and close the queue, enqueues hold the read lock — so no
+	// send can race the close.
+	closingMu sync.RWMutex
+	closed    bool
+	workers   sync.WaitGroup
+
+	// read-mostly cache of parsed datasets.
+	dsMu     sync.RWMutex
+	datasets map[string]probsyn.Source
+
+	// pending dedupes builds: one job per key from enqueue until its
+	// build finishes, so re-POSTing an uncataloged key (a wait:false
+	// client polling for completion) attaches to the in-flight job
+	// instead of multiplying expensive duplicate DPs.
+	pendingMu sync.Mutex
+	pending   map[catalog.Key]*buildJob
+}
+
+// buildJob is one queued build; err is valid once done is closed.
+type buildJob struct {
+	key  catalog.Key
+	done chan struct{}
+	err  error
+}
+
+// New validates the config and returns a server with its queue workers
+// running.
+func New(cfg Config) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("server: nil catalog")
+	}
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("server: nil pool")
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: no data directory")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.BuildWorkers <= 0 {
+		cfg.BuildWorkers = DefaultBuildWorkers
+	}
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *buildJob, cfg.QueueDepth),
+		datasets: make(map[string]probsyn.Source),
+		pending:  make(map[catalog.Key]*buildJob),
+	}
+	for w := 0; w < cfg.BuildWorkers; w++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for job := range s.queue {
+				job.err = s.build(job.key)
+				if job.err != nil {
+					// Surface every failure here: an async (wait:false)
+					// client has no response carrying the error.
+					s.logf("build %s failed: %v", job.key, job.err)
+				}
+				// Unregister before completing: a request arriving after
+				// the delete sees the catalog entry (success) or starts a
+				// fresh job (failure); one arriving before it waits on
+				// done and reads err.
+				s.pendingMu.Lock()
+				delete(s.pending, job.key)
+				s.pendingMu.Unlock()
+				close(job.done)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Shutdown stops admitting new builds, lets the workers drain every job
+// already queued, and returns when they have finished (or ctx expires).
+// Estimate reads keep working throughout — only build ingest closes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closingMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.closingMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/build", s.handleBuild)
+	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /v1/rangesum", s.handleRangeSum)
+	mux.HandleFunc("GET /v1/synopses", s.handleSynopses)
+	return mux
+}
+
+// ---- wire types ----
+
+// BuildRequest is the POST /v1/build body.
+type BuildRequest struct {
+	Dataset string `json:"dataset"`
+	Family  string `json:"family"`
+	Metric  string `json:"metric"`
+	Budget  int    `json:"budget"`
+	// C is the sanity constant for relative-error metrics; 0 means the
+	// server's -c default. Ignored (zeroed in the key) for metrics that
+	// do not use it.
+	C float64 `json:"c,omitempty"`
+	// Wait makes the request synchronous: the response arrives after the
+	// queued build completes (or fails).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// BuildResponse reports where the requested synopsis stands.
+type BuildResponse struct {
+	Key    catalog.Key `json:"key"`
+	Status string      `json:"status"` // "ready", "queued", or "built"
+}
+
+// EstimateResponse answers /v1/estimate.
+type EstimateResponse struct {
+	Key      catalog.Key `json:"key"`
+	I        int         `json:"i"`
+	Estimate float64     `json:"estimate"`
+}
+
+// RangeSumResponse answers /v1/rangesum.
+type RangeSumResponse struct {
+	Key catalog.Key `json:"key"`
+	Lo  int         `json:"lo"`
+	Hi  int         `json:"hi"`
+	Sum float64     `json:"sum"`
+}
+
+// SynopsisInfo is one /v1/synopses listing row.
+type SynopsisInfo struct {
+	Key       catalog.Key `json:"key"`
+	Domain    int         `json:"domain"`
+	Terms     int         `json:"terms"`
+	ErrorCost float64     `json:"error_cost"`
+	Bytes     int         `json:"bytes"`
+}
+
+// ListResponse answers /v1/synopses.
+type ListResponse struct {
+	Synopses []SynopsisInfo `json:"synopses"`
+}
+
+// ErrorBody is the typed error envelope every non-2xx response carries.
+type ErrorBody struct {
+	Error APIError `json:"error"`
+}
+
+// APIError is a machine-readable error: a stable code plus a message.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// The error codes.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeNotFound     = "not_found"
+	CodeQueueFull    = "queue_full"
+	CodeBuildFailed  = "build_failed"
+	CodeShuttingDown = "shutting_down"
+)
+
+// ---- handlers ----
+
+// maxBuildBody bounds the POST /v1/build body: a valid request is a few
+// hundred bytes, so anything larger is hostile or broken and must not
+// buffer into memory.
+const maxBuildBody = 1 << 16
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	var req BuildRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBuildBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad build request body: %v", err)
+		return
+	}
+	c := req.C
+	if c == 0 {
+		c = s.cfg.C // the server's default sanity constant
+	}
+	key, err := catalog.NewKey(req.Dataset, req.Family, req.Metric, req.Budget, c)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if err := validDatasetName(key.Dataset); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if _, ok := s.cfg.Catalog.Get(key); ok {
+		writeJSON(w, http.StatusOK, BuildResponse{Key: key, Status: "ready"})
+		return
+	}
+	if _, err := os.Stat(s.datasetPath(key.Dataset)); err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "dataset %q not found", key.Dataset)
+		return
+	}
+	// Claim the key: if a job for it is already queued or building,
+	// attach to that one instead of enqueueing a duplicate DP. The
+	// enqueue happens under pendingMu, and the job is published only
+	// once it is actually queued — so a job found in pending is always
+	// one a worker will complete, and a failed enqueue is visible to
+	// nobody.
+	s.pendingMu.Lock()
+	job, inflight := s.pending[key]
+	if !inflight {
+		job = &buildJob{key: key, done: make(chan struct{})}
+		if code, err := s.enqueue(job); err != nil {
+			s.pendingMu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, code, "%v", err)
+			return
+		}
+		s.pending[key] = job
+	}
+	s.pendingMu.Unlock()
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, BuildResponse{Key: key, Status: "queued"})
+		return
+	}
+	select {
+	case <-job.done:
+	case <-r.Context().Done():
+		// The client went away; the queued build still completes and
+		// lands in the catalog for the next request.
+		return
+	}
+	if job.err != nil {
+		writeError(w, http.StatusInternalServerError, CodeBuildFailed, "%v", job.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BuildResponse{Key: key, Status: "built"})
+}
+
+// enqueue appends the job to the bounded FIFO, reporting queue_full when
+// the queue is at depth and shutting_down once Shutdown has begun.
+func (s *Server) enqueue(job *buildJob) (code string, err error) {
+	s.closingMu.RLock()
+	defer s.closingMu.RUnlock()
+	if s.closed {
+		return CodeShuttingDown, fmt.Errorf("server is shutting down")
+	}
+	select {
+	case s.queue <- job:
+		return "", nil
+	default:
+		return CodeQueueFull, fmt.Errorf("build queue full (%d pending)", cap(s.queue))
+	}
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	key, entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	i, err := intParam(r, "i")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if n := entry.Synopsis.Domain(); i < 0 || i >= n {
+		// Out-of-domain estimates would fabricate a confident answer (an
+		// edge bucket's representative, a wavelet zero); reject instead.
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "item %d outside domain [0, %d)", i, n)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{Key: key, I: i, Estimate: entry.Synopsis.Estimate(i)})
+}
+
+func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
+	key, entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	lo, err := intParam(r, "lo")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	hi, err := intParam(r, "hi")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if lo > hi {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty range [%d, %d]", lo, hi)
+		return
+	}
+	n := entry.Synopsis.Domain()
+	if hi < 0 || lo >= n {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "range [%d, %d] outside domain [0, %d)", lo, hi, n)
+		return
+	}
+	// Clamp here and echo the clamped bounds, so the response never
+	// claims a sum over more domain than the synopsis covers.
+	lo, hi = max(lo, 0), min(hi, n-1)
+	writeJSON(w, http.StatusOK, RangeSumResponse{Key: key, Lo: lo, Hi: hi, Sum: entry.Synopsis.RangeSum(lo, hi)})
+}
+
+func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {
+	entries := s.cfg.Catalog.List()
+	resp := ListResponse{Synopses: make([]SynopsisInfo, 0, len(entries))}
+	for _, e := range entries {
+		resp.Synopses = append(resp.Synopses, SynopsisInfo{
+			Key: e.Key, Domain: e.Synopsis.Domain(), Terms: e.Synopsis.Terms(),
+			ErrorCost: e.Synopsis.ErrorCost(), Bytes: e.Bytes,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// lookup resolves the key query parameters to a catalog entry, writing
+// the typed error itself when it cannot.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (catalog.Key, *catalog.Entry, bool) {
+	q := r.URL.Query()
+	budget, err := strconv.Atoi(q.Get("budget"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad budget %q", q.Get("budget"))
+		return catalog.Key{}, nil, false
+	}
+	c := s.cfg.C // optional &c= overrides the server default, as in builds
+	if raw := q.Get("c"); raw != "" {
+		if c, err = strconv.ParseFloat(raw, 64); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad c %q", raw)
+			return catalog.Key{}, nil, false
+		}
+	}
+	key, err := catalog.NewKey(q.Get("dataset"), q.Get("family"), q.Get("metric"), budget, c)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return catalog.Key{}, nil, false
+	}
+	entry, ok := s.cfg.Catalog.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no synopsis for %s (build it first)", key)
+		return catalog.Key{}, nil, false
+	}
+	return key, entry, true
+}
+
+// ---- the build path ----
+
+// build constructs the synopsis for a key on the shared pool, registers
+// it in the catalog, and persists it when a catalog directory is
+// configured. This is the serving twin of an offline cmd/psyn build:
+// both run probsyn.Build and both write the same envelope bytes.
+func (s *Server) build(key catalog.Key) error {
+	if _, ok := s.cfg.Catalog.Get(key); ok {
+		return nil // built (or loaded) since this job was queued
+	}
+	src, err := s.dataset(key.Dataset)
+	if err != nil {
+		return err
+	}
+	m, err := probsyn.ParseMetric(key.Metric)
+	if err != nil {
+		return err
+	}
+	// key.C is the constant the build was requested at (> 0 exactly for
+	// relative-error metrics; Params.C is unused otherwise).
+	opts := []probsyn.BuildOption{
+		probsyn.WithPool(s.cfg.Pool),
+		probsyn.WithParams(probsyn.Params{C: key.C}),
+	}
+	if key.Family == catalog.FamilyWavelet {
+		opts = append(opts, probsyn.WithWavelet())
+	}
+	syn, err := probsyn.Build(src, m, key.Budget, opts...)
+	if err != nil {
+		return fmt.Errorf("build %s: %w", key, err)
+	}
+	blob, err := probsyn.MarshalSynopsis(syn)
+	if err != nil {
+		return err
+	}
+	// Persist before publishing: a build is observable (ready, servable)
+	// only once it is durably on disk, so a failed persist is reported
+	// as build_failed with nothing half-done — no window where a key
+	// serves estimates and then vanishes, and retries are not
+	// short-circuited by a catalog entry that never hit disk. The write
+	// is atomic (temp + rename): LoadDir fails loudly on corrupt files,
+	// so a crash mid-persist must not block the next startup either.
+	if s.cfg.CatalogDir != "" {
+		if err := catalog.WriteBlob(filepath.Join(s.cfg.CatalogDir, key.Filename()), blob); err != nil {
+			return fmt.Errorf("persist %s: %w", key, err)
+		}
+	}
+	s.cfg.Catalog.PutEncoded(key, syn, blob)
+	return nil
+}
+
+// dataset returns the parsed source for a dataset name, reading and
+// caching it on first use.
+func (s *Server) dataset(name string) (probsyn.Source, error) {
+	s.dsMu.RLock()
+	src, ok := s.datasets[name]
+	s.dsMu.RUnlock()
+	if ok {
+		return src, nil
+	}
+	f, err := os.Open(s.datasetPath(name))
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	defer f.Close()
+	src, err = probsyn.ReadDataset(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	s.dsMu.Lock()
+	if prev, ok := s.datasets[name]; ok {
+		src = prev // another worker parsed it first; keep one copy
+	} else {
+		s.datasets[name] = src
+	}
+	s.dsMu.Unlock()
+	return src, nil
+}
+
+func (s *Server) datasetPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, name+".pd")
+}
+
+// validDatasetName rejects names that could resolve outside the data
+// directory: the dataset is a filename stem, never a path.
+func validDatasetName(name string) error {
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." || strings.HasPrefix(name, "..") {
+		return fmt.Errorf("invalid dataset name %q", name)
+	}
+	return nil
+}
+
+// logf routes operational log lines to the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// intParam parses a required integer query parameter.
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+// ---- JSON plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: APIError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}

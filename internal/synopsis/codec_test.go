@@ -129,7 +129,7 @@ func typeName(t *testing.T, s Synopsis) string {
 	return c.Name
 }
 
-func buildOneOfEach(t *testing.T) (h *hist.Histogram, w *wavelet.Synopsis) {
+func buildOneOfEach(t testing.TB) (h *hist.Histogram, w *wavelet.Synopsis) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(93))
 	src := ptest.RandomValuePDF(rng, 16, 3)

@@ -33,6 +33,11 @@ type Synopsis interface {
 	// built: the DP objective value for histograms, the expected SSE or
 	// restricted-DP error for wavelets.
 	ErrorCost() float64
+	// Domain returns the queryable item-domain size n: Estimate is
+	// meaningful for i in [0, n). (For wavelets n is the padded
+	// power-of-two domain.) Servers use it to reject out-of-domain
+	// queries instead of fabricating an answer.
+	Domain() int
 }
 
 // Codec serializes one synopsis family. Name is the wire-format type name
@@ -78,6 +83,17 @@ func Registered() []string {
 	out := append([]string(nil), regOrder...)
 	sort.Strings(out)
 	return out
+}
+
+// TypeName returns the wire-format type name of the codec that handles
+// s — the name the envelopes record, which the catalog layer reuses as
+// the synopsis family name.
+func TypeName(s Synopsis) (string, error) {
+	c, err := codecFor(s)
+	if err != nil {
+		return "", err
+	}
+	return c.Name, nil
 }
 
 // codecFor returns the first registered codec (in registration order)

@@ -34,6 +34,9 @@ func (s *Synopsis) Terms() int { return len(s.Indices) }
 // implementing the shared synopsis interface.
 func (s *Synopsis) ErrorCost() float64 { return s.Cost }
 
+// Domain returns the (padded, power-of-two) item-domain size.
+func (s *Synopsis) Domain() int { return s.N }
+
 // Validate checks shape invariants.
 func (s *Synopsis) Validate() error {
 	if !haar.IsPow2(s.N) {

@@ -215,7 +215,12 @@ func (d *treeDP) solveLevel(l int, vals []float64) {
 		ccap = d.bcap[l+1]
 	}
 	centries := ccap + 1
-	d.pool.MapChunks(0, total, total*entries*centries, func(_, lo, hi int) {
+	// Dispatch (not MapChunks): result slots are derived from the state
+	// range, so the pool may run this static or dynamic. Unrestricted
+	// levels are ragged — per-node branch counts differ, so equal state
+	// ranges carry unequal work — and a dynamic pool's finer chunks let
+	// idle workers steal them with the same bit-identical result.
+	d.pool.Dispatch(0, total, total*entries*centries, func(_, lo, hi int) {
 		var lbuf, rbuf []float64
 		if fused {
 			lbuf = make([]float64, centries)
