@@ -249,6 +249,115 @@ func BenchmarkWaveletUnrestrictedBuild(b *testing.B) {
 	})
 }
 
+// --- budget-sweep frontiers ---------------------------------------------------
+
+// The frontier benchmarks prove the sweep's amortization: one DP run
+// extracting every budget 1..B versus B independent single-budget
+// builds of the same configuration (the acceptance target is >= 5x at
+// n=1024, B=32; one forward DP dominates both sides, so the sweep is
+// ~Bx cheaper). Sweep and independent variants do byte-identical work
+// per synopsis — the delta is purely the shared forward DP.
+
+const (
+	frontierN = 1024
+	frontierB = 32
+)
+
+func benchFrontierSweep(b *testing.B, sweep func(src pdata.Source) (*wavelet.Sweep, error)) {
+	b.Helper()
+	src := benchLinkage(frontierN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := sweep(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for bb := 1; bb <= sw.Bmax(); bb++ {
+			if _, err := sw.Synopsis(bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchFrontierIndependent(b *testing.B, build func(src pdata.Source, B int) error) {
+	b.Helper()
+	src := benchLinkage(frontierN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for bb := 1; bb <= frontierB; bb++ {
+			if err := build(src, bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFrontierSweepRestricted(b *testing.B) {
+	benchFrontierSweep(b, func(src pdata.Source) (*wavelet.Sweep, error) {
+		return wavelet.SweepRestricted(src, metric.SAE, metric.Params{C: 0.5}, frontierB)
+	})
+}
+
+func BenchmarkFrontierIndependentRestricted(b *testing.B) {
+	benchFrontierIndependent(b, func(src pdata.Source, B int) error {
+		_, _, err := wavelet.BuildRestricted(src, metric.SAE, metric.Params{C: 0.5}, B)
+		return err
+	})
+}
+
+func BenchmarkFrontierSweepUnrestricted(b *testing.B) {
+	benchFrontierSweep(b, func(src pdata.Source) (*wavelet.Sweep, error) {
+		return wavelet.SweepUnrestricted(src, metric.SAE, metric.Params{C: 0.5}, frontierB, 0)
+	})
+}
+
+func BenchmarkFrontierIndependentUnrestricted(b *testing.B) {
+	benchFrontierIndependent(b, func(src pdata.Source, B int) error {
+		_, _, err := wavelet.BuildUnrestricted(src, metric.SAE, metric.Params{C: 0.5}, B, 0)
+		return err
+	})
+}
+
+// The histogram side of the same comparison: the DP table has always
+// held every budget level; the frontier makes the amortization part of
+// the public API surface.
+func BenchmarkFrontierSweepHistogram(b *testing.B) {
+	src := benchLinkage(frontierN)
+	o, err := hist.NewOracle(src, metric.SSE, metric.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := hist.RunDP(o, frontierB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for bb := 1; bb <= tab.Bmax(); bb++ {
+			if _, err := tab.Histogram(bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFrontierIndependentHistogram(b *testing.B) {
+	src := benchLinkage(frontierN)
+	o, err := hist.NewOracle(src, metric.SSE, metric.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for bb := 1; bb <= frontierB; bb++ {
+			if _, err := hist.Optimal(o, bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- parallel DP engine -------------------------------------------------------
 
 // benchWorkers returns the worker counts to compare: serial vs the full

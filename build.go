@@ -21,6 +21,8 @@ type buildConfig struct {
 	epsSet      bool
 	weights     []float64
 	wavelet     bool
+	quantize    int
+	quantizeSet bool
 }
 
 // WithParams sets the metric parameters (the sanity constant c of the
@@ -81,6 +83,18 @@ func WithWavelet() BuildOption {
 	return func(c *buildConfig) { c.wavelet = true }
 }
 
+// WithUnrestricted switches a wavelet build to the unrestricted
+// thresholding DP (§4.2's "bound and quantize" sketch): retained
+// coefficient values are optimized over a grid of 2q points spanning each
+// coefficient's pessimistic range, plus the expected value, instead of
+// being pinned to the expected value. Never worse than the restricted
+// optimum; exponentially more expensive in q and log n, so intended for
+// small domains. Requires WithWavelet and a non-SSE metric (for SSE the
+// expected values are already unrestricted-optimal, Theorem 7).
+func WithUnrestricted(q int) BuildOption {
+	return func(c *buildConfig) { c.quantize, c.quantizeSet = q, true }
+}
+
 // Build is the unified synopsis constructor: it builds a B-term synopsis
 // of the requested family minimizing the metric's expected error over the
 // source's possible worlds, and returns it behind the shared Synopsis
@@ -121,18 +135,10 @@ func Build(src Source, m Metric, B int, opts ...BuildOption) (Synopsis, error) {
 }
 
 func buildHistogram(src Source, m Metric, B int, cfg *buildConfig, pool *engine.Pool) (*Histogram, error) {
-	var (
-		o   hist.Oracle
-		err error
-	)
-	if cfg.weights != nil {
-		if m != SSE && m != SSEFixed {
-			return nil, fmt.Errorf("probsyn: workload weights require the SSE or SSE-fixed metric, got %v", m)
-		}
-		o, err = hist.NewWorkloadSSE(src, cfg.weights)
-	} else {
-		o, err = hist.NewOracle(src, m, cfg.params)
+	if cfg.quantizeSet {
+		return nil, fmt.Errorf("probsyn: unrestricted coefficient values are a wavelet option")
 	}
+	o, err := histOracle(src, m, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -142,12 +148,28 @@ func buildHistogram(src Source, m Metric, B int, cfg *buildConfig, pool *engine.
 	return hist.OptimalPool(o, B, pool)
 }
 
+// histOracle constructs the bucket-cost oracle a histogram build (or
+// sweep) prices against: workload-weighted SSE when weights are set, the
+// metric's standard oracle otherwise.
+func histOracle(src Source, m Metric, cfg *buildConfig) (hist.Oracle, error) {
+	if cfg.weights != nil {
+		if m != SSE && m != SSEFixed {
+			return nil, fmt.Errorf("probsyn: workload weights require the SSE or SSE-fixed metric, got %v", m)
+		}
+		return hist.NewWorkloadSSE(src, cfg.weights)
+	}
+	return hist.NewOracle(src, m, cfg.params)
+}
+
 func buildWavelet(src Source, m Metric, B int, cfg *buildConfig, pool *engine.Pool) (*WaveletSynopsis, error) {
 	switch {
 	case cfg.weights != nil:
 		return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
 	case cfg.epsSet:
 		return nil, fmt.Errorf("probsyn: the (1+eps)-approximate DP is a histogram option")
+	case cfg.quantizeSet:
+		syn, _, err := wavelet.BuildUnrestrictedPool(src, m, cfg.params, B, cfg.quantize, pool)
+		return syn, err
 	}
 	if m == SSE || m == SSEFixed {
 		syn, _, err := wavelet.BuildSSE(src, B)

@@ -6,11 +6,17 @@
 // Usage:
 //
 //	experiments [flags] fig2a|fig2b|fig2c|fig2d|fig2e|fig2f|
-//	                    fig3a|fig3b|fig4a|fig4b|wavelet-dp|
+//	                    fig3a|fig3b|fig4a|fig4b|wavelet-dp|frontier|
 //	                    ablate-straddle|ablate-approx|all
+//
+// The frontier mode emits Figure-4-style cost-vs-budget curves built the
+// cheap way — one DP run per family serves every budget (see
+// probsyn.BuildSweep) — as CSV on stdout and, with -frontier-json, as a
+// JSON file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -36,7 +42,9 @@ var (
 	flagPoints   = flag.Int("points", 10, "budgets per series")
 	flagFull     = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
 	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines for the histogram and wavelet DPs (<= 0: one per CPU); results are identical at any setting")
-	flagCatalog  = flag.String("catalog", "", "save the probabilistic synopses built by fig2*/wavelet-dp into this catalog directory (servable by psynd)")
+	flagCatalog  = flag.String("catalog", "", "save the probabilistic synopses built by fig2*/wavelet-dp/frontier into this catalog directory (servable by psynd)")
+	flagFrontier = flag.String("frontier-json", "", "frontier mode: also write the series as JSON to this file")
+	flagQuantize = flag.Int("quantize", 0, "frontier mode: unrestricted wavelet quantization q (< 0: skip the unrestricted series)")
 )
 
 // workers resolves -parallelism to an explicit positive worker count, so
@@ -81,7 +89,7 @@ func saveCatalog() {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <figure>; figures: fig2a..fig2f fig3a fig3b fig4a fig4b wavelet-dp ablate-straddle ablate-approx all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <figure>; figures: fig2a..fig2f fig3a fig3b fig4a fig4b wavelet-dp frontier ablate-straddle ablate-approx all")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -97,12 +105,13 @@ func main() {
 		"fig4a":           fig4a,
 		"fig4b":           fig4b,
 		"wavelet-dp":      waveletDP,
+		"frontier":        frontier,
 		"ablate-straddle": ablateStraddle,
 		"ablate-approx":   ablateApprox,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f",
-			"fig3a", "fig3b", "fig4a", "fig4b", "wavelet-dp", "ablate-straddle", "ablate-approx"} {
+			"fig3a", "fig3b", "fig4a", "fig4b", "wavelet-dp", "frontier", "ablate-straddle", "ablate-approx"} {
 			runners[name]()
 			fmt.Println()
 		}
@@ -311,6 +320,46 @@ func waveletDP() {
 	fmt.Println("coefficients,terms,seconds,cost")
 	for _, pt := range points {
 		fmt.Printf("%d,%d,%.3f,%.6g\n", pt.B, pt.Terms, pt.Seconds, pt.Cost)
+	}
+}
+
+// frontier: whole cost-vs-budget curves (the shape of Figures 2 and 4)
+// from one DP run per family — the histogram DP table serves every
+// budget level, the wavelet sweep extracts every budget from one
+// coefficient-tree DP. Every plotted point used to cost one build; the
+// whole frontier now costs one.
+func frontier() {
+	n := 512
+	if *flagFull {
+		n = 2048
+	}
+	rng := rand.New(rand.NewSource(*flagSeed))
+	src := gen.MystiQLinkage(rng, gen.DefaultMystiQ(n))
+	exp := &eval.FrontierExperiment{
+		Source:   src,
+		Metric:   metric.SAE,
+		Params:   metric.Params{C: 0.5},
+		Bmax:     n / 16,
+		Quantize: *flagQuantize,
+		Pool:     pool(),
+		Catalog:  cat(),
+		Dataset:  fmt.Sprintf("mystiq-n%d", n),
+	}
+	series, err := exp.Run()
+	check(err)
+	fmt.Printf("# frontier: SAE cost vs budget, every budget 1..%d from one DP run per family; n=%d, m=%d, workers=%d\n",
+		exp.Bmax, n, src.M(), workers())
+	fmt.Println("family,budget,terms,cost,sweep_seconds")
+	for _, s := range series {
+		for _, pt := range s.Points {
+			fmt.Printf("%s,%d,%d,%.6g,%.3f\n", s.Family, pt.B, pt.Terms, pt.Cost, s.SweepSeconds)
+		}
+	}
+	if *flagFrontier != "" {
+		blob, err := json.MarshalIndent(series, "", "  ")
+		check(err)
+		check(os.WriteFile(*flagFrontier, append(blob, '\n'), 0o644))
+		fmt.Printf("# frontier: wrote JSON series to %s\n", *flagFrontier)
 	}
 }
 

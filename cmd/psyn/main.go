@@ -8,7 +8,16 @@
 //	psyn -input data.pd -metric SARE -c 1.0 -buckets 50 -approx 0.25
 //	psyn -input data.pd -metric SSE -buckets 64 -parallelism 0 -out h.syn
 //	psyn -input data.pd -wavelet -metric SAE -coeffs 32 -parallelism 0 -out w.json
+//	psyn -input data.pd -wavelet -metric SAE -coeffs 8 -quantize 2
 //	psyn -in h.syn
+//
+// With -sweep, one DP run builds the whole budget frontier: the
+// cost-vs-budget curve for every budget up to -buckets/-coeffs prints as
+// CSV, and -out (a directory) receives one key-encoded catalog file per
+// budget — each byte-identical to a single-budget build, and servable by
+// psynd:
+//
+//	psyn -input data.pd -metric SSE -buckets 32 -sweep -out ./catalog
 package main
 
 import (
@@ -17,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"probsyn"
 	"probsyn/internal/catalog"
@@ -49,9 +60,12 @@ func run(args []string, stdout io.Writer) error {
 		flagEqui     = fs.Bool("equidepth", false, "build the equi-depth heuristic instead of the optimal histogram")
 		flagWavelet  = fs.Bool("wavelet", false, "build a wavelet synopsis instead of a histogram")
 		flagCoeffs   = fs.Int("coeffs", 16, "wavelet coefficient budget")
+		flagQuant    = fs.Int("quantize", -1, "if >= 0, build the unrestricted wavelet DP with this quantization q (coefficient values optimized over 2q grid points plus the expected value; exponential in q and log n)")
 		flagParallel = fs.Int("parallelism", 1, "DP worker goroutines for histogram and non-SSE wavelet builds (<= 0: one per CPU); output is identical at any setting (the SSE wavelet build is greedy and ignores it)")
-		flagOut      = fs.String("out", "", "save the built synopsis to this file (.json: JSON envelope, otherwise binary)")
+		flagOut      = fs.String("out", "", "save the built synopsis to this file (.json: JSON envelope, otherwise binary); with -sweep, a directory receiving one catalog file per budget")
 		flagIn       = fs.String("in", "", "load a saved synopsis instead of building one")
+		flagSweep    = fs.Bool("sweep", false, "build the whole budget frontier (every budget up to -buckets/-coeffs) from one DP run and print budget,terms,cost CSV")
+		flagDataset  = fs.String("dataset", "", "dataset name used in -sweep catalog filenames (default: the -input file stem)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,10 +96,32 @@ func run(args []string, stdout io.Writer) error {
 	}
 	p := probsyn.Params{C: *flagC}
 	opts := []probsyn.BuildOption{probsyn.WithParams(p), probsyn.WithParallelism(*flagParallel)}
+	if *flagQuant >= 0 {
+		if !*flagWavelet {
+			return fmt.Errorf("-quantize is a wavelet option (add -wavelet)")
+		}
+		opts = append(opts, probsyn.WithUnrestricted(*flagQuant))
+	}
+
+	if *flagSweep {
+		if *flagEqui || *flagApprox > 0 {
+			return fmt.Errorf("-sweep needs the exact DP (drop -equidepth/-approx)")
+		}
+		dataset := *flagDataset
+		if dataset == "" {
+			dataset = strings.TrimSuffix(filepath.Base(*flagInput), filepath.Ext(*flagInput))
+		}
+		budget := *flagBuckets
+		if *flagWavelet {
+			budget = *flagCoeffs
+			opts = append(opts, probsyn.WithWavelet())
+		}
+		return runSweep(stdout, src, m, p, budget, dataset, *flagOut, opts)
+	}
 
 	var syn probsyn.Synopsis
 	if *flagWavelet {
-		syn, err = buildWavelet(stdout, src, m, *flagCoeffs, opts)
+		syn, err = buildWavelet(stdout, src, m, *flagCoeffs, *flagQuant, opts)
 	} else {
 		syn, err = buildHistogram(stdout, src, m, p, *flagBuckets, *flagApprox, *flagEqui, opts)
 	}
@@ -94,6 +130,51 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *flagOut != "" {
 		return saveSynopsis(stdout, *flagOut, syn)
+	}
+	return nil
+}
+
+// runSweep builds the budget frontier in one DP run, prints the
+// cost-vs-budget curve, and (with -out) persists every budget as a
+// key-encoded catalog file — the same files psynd writes for a
+// /v1/sweep, byte-identical to single-budget builds.
+func runSweep(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.Params, budget int, dataset, outDir string, opts []probsyn.BuildOption) error {
+	fr, err := probsyn.BuildSweep(src, m, budget, opts...)
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "frontier over n=%d: budgets 1..%d from one DP run\n", src.Domain(), fr.Bmax())
+	fmt.Fprintln(stdout, "budget,terms,cost")
+	written := 0
+	for b := 1; b <= fr.Bmax(); b++ {
+		syn, err := fr.Synopsis(b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%d,%d,%.6g\n", b, syn.Terms(), syn.ErrorCost())
+		if outDir == "" {
+			continue
+		}
+		family := catalog.FamilyHistogram
+		if _, ok := syn.(*probsyn.WaveletSynopsis); ok {
+			family = catalog.FamilyWavelet
+		}
+		key, err := catalog.NewKey(dataset, family, m.String(), b, p.C)
+		if err != nil {
+			return err
+		}
+		if _, err := catalog.WriteFile(filepath.Join(outDir, key.Filename()), syn); err != nil {
+			return err
+		}
+		written++
+	}
+	if outDir != "" {
+		fmt.Fprintf(stdout, "saved %d synopses to %s\n", written, outDir)
 	}
 	return nil
 }
@@ -135,7 +216,20 @@ func buildHistogram(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p pr
 	return h, nil
 }
 
-func buildWavelet(stdout io.Writer, src probsyn.Source, m probsyn.Metric, coeffs int, opts []probsyn.BuildOption) (probsyn.Synopsis, error) {
+func buildWavelet(stdout io.Writer, src probsyn.Source, m probsyn.Metric, coeffs, quantize int, opts []probsyn.BuildOption) (probsyn.Synopsis, error) {
+	if quantize >= 0 {
+		// Unrestricted DP: coefficient values optimized over quantized
+		// candidate grids (already selected via WithUnrestricted in opts).
+		s, err := probsyn.Build(src, m, coeffs, append(opts, probsyn.WithWavelet())...)
+		if err != nil {
+			return nil, err
+		}
+		syn := s.(*probsyn.WaveletSynopsis)
+		fmt.Fprintf(stdout, "unrestricted (q=%d) %v wavelet synopsis over n=%d (padded %d): %d coefficients, expected error %.6g\n",
+			quantize, m, src.Domain(), syn.N, syn.B(), syn.Cost)
+		printCoeffs(stdout, syn)
+		return syn, nil
+	}
 	if m == probsyn.SSE || m == probsyn.SSEFixed {
 		syn, rep, err := probsyn.SSEWavelet(src, coeffs)
 		if err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -151,5 +153,93 @@ func TestRunRejectsUnknownMetric(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-input", dataset, "-metric", "XXX"}, &out); err == nil {
 		t.Fatal("unknown metric accepted")
+	}
+}
+
+// TestRunSweep drives -sweep for both families: the CSV frontier prints,
+// the -out directory receives one catalog file per budget, and each file
+// is byte-identical to a single-budget -out build.
+func TestRunSweep(t *testing.T) {
+	dir := t.TempDir()
+	dataset, _ := writeDataset(t, dir)
+	cases := []struct {
+		name    string
+		args    []string
+		family  string
+		metric  string
+		budgets int
+	}{
+		{"histogram", []string{"-metric", "SSE", "-buckets", "5"}, "histogram", "SSE", 5},
+		{"wavelet", []string{"-wavelet", "-metric", "SAE", "-coeffs", "4"}, "wavelet", "SAE", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			outDir := filepath.Join(dir, tc.name+"-sweep")
+			var sweepOut bytes.Buffer
+			args := append([]string{"-input", dataset, "-sweep", "-dataset", "ds", "-out", outDir}, tc.args...)
+			if err := run(args, &sweepOut); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sweepOut.String(), "budget,terms,cost") {
+				t.Fatalf("sweep output missing CSV header:\n%s", sweepOut.String())
+			}
+			for b := 1; b <= tc.budgets; b++ {
+				single := filepath.Join(dir, "single.syn")
+				budgetFlag := "-buckets"
+				if tc.family == "wavelet" {
+					budgetFlag = "-coeffs"
+				}
+				sargs := append([]string{"-input", dataset, "-out", single}, tc.args...)
+				// Override the budget for the single build.
+				sargs = append(sargs, budgetFlag, itoa(b))
+				var buildOut bytes.Buffer
+				if err := run(sargs, &buildOut); err != nil {
+					t.Fatal(err)
+				}
+				swept, err := os.ReadFile(filepath.Join(outDir,
+					"ds--"+tc.family+"--"+tc.metric+"--b"+itoa(b)+".psyn"))
+				if err != nil {
+					t.Fatalf("budget %d: %v", b, err)
+				}
+				want, err := os.ReadFile(single)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(swept, want) {
+					t.Fatalf("budget %d: swept catalog file differs from single build", b)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// -sweep needs the exact DP; heuristic modes are rejected.
+func TestRunSweepRejectsHeuristics(t *testing.T) {
+	dir := t.TempDir()
+	dataset, _ := writeDataset(t, dir)
+	for _, extra := range [][]string{{"-approx", "0.5"}, {"-equidepth"}} {
+		args := append([]string{"-input", dataset, "-metric", "SSE", "-sweep"}, extra...)
+		if err := run(args, io.Discard); err == nil {
+			t.Fatalf("sweep with %v succeeded, want error", extra)
+		}
+	}
+}
+
+// -quantize routes the wavelet build through the unrestricted DP (never
+// worse than the restricted optimum) and requires -wavelet.
+func TestRunQuantize(t *testing.T) {
+	dir := t.TempDir()
+	dataset, _ := writeDataset(t, dir)
+	if err := run([]string{"-input", dataset, "-metric", "SAE", "-quantize", "1"}, io.Discard); err == nil {
+		t.Fatal("-quantize without -wavelet succeeded, want error")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "3", "-quantize", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "unrestricted (q=1)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
 	}
 }

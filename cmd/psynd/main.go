@@ -12,6 +12,8 @@
 //
 //	curl -X POST localhost:7075/v1/build \
 //	     -d '{"dataset":"ds","family":"histogram","metric":"SSE","budget":16,"wait":true}'
+//	curl -X POST localhost:7075/v1/sweep \
+//	     -d '{"dataset":"ds","family":"histogram","metric":"SSE","budget":16,"wait":true}'
 //	curl 'localhost:7075/v1/estimate?dataset=ds&family=histogram&metric=SSE&budget=16&i=42'
 //	curl 'localhost:7075/v1/rangesum?dataset=ds&family=histogram&metric=SSE&budget=16&lo=0&hi=99'
 //	curl 'localhost:7075/v1/synopses'

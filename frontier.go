@@ -1,0 +1,110 @@
+package probsyn
+
+import (
+	"context"
+	"fmt"
+
+	"probsyn/internal/engine"
+	"probsyn/internal/hist"
+	"probsyn/internal/wavelet"
+)
+
+// BuildSweep is Build's budget-sweep twin: one DP run at budget Bmax that
+// serves the optimal synopsis for every budget 1 <= b <= Bmax through the
+// returned Frontier. It accepts the same functional options as Build
+// (family, metric parameters, parallelism, shared pool, workload
+// weights), holds a single pool admission token for the whole
+// construction, and guarantees Frontier.Synopsis(b) is bit-identical —
+// byte-identical through the codec — to Build at budget b with the same
+// options. The (1+eps)-approximate histogram DP prunes its search per
+// budget and produces no frontier; WithEps is rejected.
+func BuildSweep(src Source, m Metric, Bmax int, opts ...BuildOption) (Frontier, error) {
+	if Bmax < 1 {
+		return nil, fmt.Errorf("probsyn: sweep budget %d, want >= 1", Bmax)
+	}
+	cfg := buildConfig{params: DefaultParams(), parallelism: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.epsSet {
+		return nil, fmt.Errorf("probsyn: the (1+eps)-approximate DP prunes per budget and has no frontier; use the exact DP for sweeps")
+	}
+	pool := cfg.pool
+	if pool == nil {
+		pool = engine.New(engine.Options{Workers: cfg.parallelism})
+	}
+	// One admission token covers the whole sweep: the point of the
+	// frontier is that B budgets cost one DP, so they also cost one
+	// build slot.
+	release, err := pool.Acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if cfg.wavelet {
+		sw, err := buildWaveletSweep(src, m, Bmax, &cfg, pool)
+		if err != nil {
+			return nil, err
+		}
+		return waveletFrontier{sw}, nil
+	}
+	if cfg.quantizeSet {
+		return nil, fmt.Errorf("probsyn: unrestricted coefficient values are a wavelet option")
+	}
+	o, err := histOracle(src, m, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := hist.RunDPPool(o, Bmax, pool)
+	if err != nil {
+		return nil, err
+	}
+	return histFrontier{tab}, nil
+}
+
+func buildWaveletSweep(src Source, m Metric, Bmax int, cfg *buildConfig, pool *engine.Pool) (*wavelet.Sweep, error) {
+	switch {
+	case cfg.weights != nil:
+		return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
+	case cfg.quantizeSet:
+		return wavelet.SweepUnrestrictedPool(src, m, cfg.params, Bmax, cfg.quantize, pool)
+	case m == SSE || m == SSEFixed:
+		return wavelet.SweepSSE(src, Bmax)
+	default:
+		return wavelet.SweepRestrictedPool(src, m, cfg.params, Bmax, pool)
+	}
+}
+
+// histFrontier adapts the histogram DP table (which already holds every
+// budget level) to the shared Frontier surface.
+type histFrontier struct{ tab *hist.DPTable }
+
+func (f histFrontier) Bmax() int { return f.tab.Bmax() }
+
+func (f histFrontier) Cost(b int) float64 {
+	if b < 1 {
+		b = 1
+	}
+	return f.tab.Cost(b)
+}
+
+func (f histFrontier) Synopsis(b int) (Synopsis, error) {
+	if b < 1 || b > f.tab.Bmax() {
+		return nil, fmt.Errorf("probsyn: frontier budget %d outside [1, %d]", b, f.tab.Bmax())
+	}
+	return f.tab.Histogram(b)
+}
+
+// waveletFrontier adapts a wavelet sweep to the shared Frontier surface.
+type waveletFrontier struct{ sw *wavelet.Sweep }
+
+func (f waveletFrontier) Bmax() int          { return f.sw.Bmax() }
+func (f waveletFrontier) Cost(b int) float64 { return f.sw.Cost(b) }
+
+func (f waveletFrontier) Synopsis(b int) (Synopsis, error) {
+	syn, err := f.sw.Synopsis(b)
+	if err != nil {
+		return nil, err
+	}
+	return syn, nil
+}

@@ -15,6 +15,10 @@
 //	POST /v1/build     {dataset, family, metric, budget, wait?} — enqueue
 //	                   a build; with wait=true the response reports the
 //	                   completed build (or its error).
+//	POST /v1/sweep     same body — enqueue a budget sweep: one DP run
+//	                   under one admission token builds and catalogs the
+//	                   synopsis for every budget 1..budget, each
+//	                   byte-identical to a single build of that budget.
 //	GET  /v1/estimate  ?dataset=&family=&metric=&budget=&i=     — point
 //	                   estimate from the catalog.
 //	GET  /v1/rangesum  ?dataset=&family=&metric=&budget=&lo=&hi= — range
@@ -99,16 +103,26 @@ type Server struct {
 	// pending dedupes builds: one job per key from enqueue until its
 	// build finishes, so re-POSTing an uncataloged key (a wait:false
 	// client polling for completion) attaches to the in-flight job
-	// instead of multiplying expensive duplicate DPs.
+	// instead of multiplying expensive duplicate DPs. Sweeps dedupe
+	// separately from single builds of the same key — a plain build in
+	// flight does not produce the sweep's lower budgets.
 	pendingMu sync.Mutex
-	pending   map[catalog.Key]*buildJob
+	pending   map[jobKey]*buildJob
 }
 
-// buildJob is one queued build; err is valid once done is closed.
+// jobKey identifies a deduplicatable unit of build work.
+type jobKey struct {
+	catalog.Key
+	sweep bool
+}
+
+// buildJob is one queued build (or budget sweep); err is valid once done
+// is closed.
 type buildJob struct {
-	key  catalog.Key
-	done chan struct{}
-	err  error
+	key   catalog.Key
+	sweep bool
+	done  chan struct{}
+	err   error
 }
 
 // New validates the config and returns a server with its queue workers
@@ -133,14 +147,18 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		queue:    make(chan *buildJob, cfg.QueueDepth),
 		datasets: make(map[string]probsyn.Source),
-		pending:  make(map[catalog.Key]*buildJob),
+		pending:  make(map[jobKey]*buildJob),
 	}
 	for w := 0; w < cfg.BuildWorkers; w++ {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
 			for job := range s.queue {
-				job.err = s.build(job.key)
+				if job.sweep {
+					job.err = s.buildSweep(job.key)
+				} else {
+					job.err = s.build(job.key)
+				}
 				if job.err != nil {
 					// Surface every failure here: an async (wait:false)
 					// client has no response carrying the error.
@@ -151,7 +169,7 @@ func New(cfg Config) (*Server, error) {
 				// fresh job (failure); one arriving before it waits on
 				// done and reads err.
 				s.pendingMu.Lock()
-				delete(s.pending, job.key)
+				delete(s.pending, jobKey{job.key, job.sweep})
 				s.pendingMu.Unlock()
 				close(job.done)
 			}
@@ -187,6 +205,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/build", s.handleBuild)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/rangesum", s.handleRangeSum)
 	mux.HandleFunc("GET /v1/synopses", s.handleSynopses)
@@ -210,10 +229,14 @@ type BuildRequest struct {
 	Wait bool `json:"wait,omitempty"`
 }
 
-// BuildResponse reports where the requested synopsis stands.
+// BuildResponse reports where the requested synopsis — or, for sweeps,
+// the requested budget frontier — stands.
 type BuildResponse struct {
 	Key    catalog.Key `json:"key"`
 	Status string      `json:"status"` // "ready", "queued", or "built"
+	// Budgets is how many per-budget synopses the request covers: 0 for
+	// single builds, the swept budget count (1..key.budget) for sweeps.
+	Budgets int `json:"budgets,omitempty"`
 }
 
 // EstimateResponse answers /v1/estimate.
@@ -272,7 +295,26 @@ const (
 // buffer into memory.
 const maxBuildBody = 1 << 16
 
+// maxSweepBudget bounds POST /v1/sweep: a sweep registers one catalog
+// entry (and one file) per budget, so unlike a single build its cost
+// scales with the budget field itself. 8192 comfortably covers the
+// paper's largest frontier (5000 coefficients, Figure 4a at full scale)
+// while keeping the worst-case request to thousands of entries, not
+// billions.
+const maxSweepBudget = 1 << 13
+
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	s.handleBuildLike(w, r, false)
+}
+
+// handleSweep enqueues a budget sweep: one frontier build that catalogs
+// the synopsis for every budget 1..budget of the requested key, each
+// byte-identical to a single /v1/build of that budget.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.handleBuildLike(w, r, true)
+}
+
+func (s *Server) handleBuildLike(w http.ResponseWriter, r *http.Request, sweep bool) {
 	var req BuildRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBuildBody)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad build request body: %v", err)
@@ -291,8 +333,17 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	if _, ok := s.cfg.Catalog.Get(key); ok {
-		writeJSON(w, http.StatusOK, BuildResponse{Key: key, Status: "ready"})
+	budgets := 0
+	if sweep {
+		if key.Budget > maxSweepBudget {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"sweep budget %d exceeds the per-request limit %d", key.Budget, maxSweepBudget)
+			return
+		}
+		budgets = key.Budget
+	}
+	if s.ready(key, sweep) {
+		writeJSON(w, http.StatusOK, BuildResponse{Key: key, Status: "ready", Budgets: budgets})
 		return
 	}
 	if _, err := os.Stat(s.datasetPath(key.Dataset)); err != nil {
@@ -305,20 +356,21 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	// once it is actually queued — so a job found in pending is always
 	// one a worker will complete, and a failed enqueue is visible to
 	// nobody.
+	jk := jobKey{key, sweep}
 	s.pendingMu.Lock()
-	job, inflight := s.pending[key]
+	job, inflight := s.pending[jk]
 	if !inflight {
-		job = &buildJob{key: key, done: make(chan struct{})}
+		job = &buildJob{key: key, sweep: sweep, done: make(chan struct{})}
 		if code, err := s.enqueue(job); err != nil {
 			s.pendingMu.Unlock()
 			writeError(w, http.StatusServiceUnavailable, code, "%v", err)
 			return
 		}
-		s.pending[key] = job
+		s.pending[jk] = job
 	}
 	s.pendingMu.Unlock()
 	if !req.Wait {
-		writeJSON(w, http.StatusAccepted, BuildResponse{Key: key, Status: "queued"})
+		writeJSON(w, http.StatusAccepted, BuildResponse{Key: key, Status: "queued", Budgets: budgets})
 		return
 	}
 	select {
@@ -332,7 +384,24 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, CodeBuildFailed, "%v", job.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, BuildResponse{Key: key, Status: "built"})
+	writeJSON(w, http.StatusOK, BuildResponse{Key: key, Status: "built", Budgets: budgets})
+}
+
+// ready reports whether the catalog already answers the request: the key
+// itself for single builds, every budget 1..key.Budget for sweeps.
+func (s *Server) ready(key catalog.Key, sweep bool) bool {
+	if !sweep {
+		_, ok := s.cfg.Catalog.Get(key)
+		return ok
+	}
+	for b := 1; b <= key.Budget; b++ {
+		bkey := key
+		bkey.Budget = b
+		if _, ok := s.cfg.Catalog.Get(bkey); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // enqueue appends the job to the bounded FIFO, reporting queue_full when
@@ -489,6 +558,58 @@ func (s *Server) build(key catalog.Key) error {
 		}
 	}
 	s.cfg.Catalog.PutEncoded(key, syn, blob)
+	return nil
+}
+
+// buildSweep is the frontier twin of build: one probsyn.BuildSweep —
+// one DP run under one pool admission token — then every budget
+// 1..key.Budget is extracted, persisted, and registered exactly as a
+// single build of that budget would be. Budgets beyond the frontier's
+// clamped Bmax (a budget larger than the domain) repeat the Bmax
+// synopsis, matching what a single build at that budget returns.
+func (s *Server) buildSweep(key catalog.Key) error {
+	if s.ready(key, true) {
+		return nil // swept (or loaded) since this job was queued
+	}
+	src, err := s.dataset(key.Dataset)
+	if err != nil {
+		return err
+	}
+	m, err := probsyn.ParseMetric(key.Metric)
+	if err != nil {
+		return err
+	}
+	opts := []probsyn.BuildOption{
+		probsyn.WithPool(s.cfg.Pool),
+		probsyn.WithParams(probsyn.Params{C: key.C}),
+	}
+	if key.Family == catalog.FamilyWavelet {
+		opts = append(opts, probsyn.WithWavelet())
+	}
+	fr, err := probsyn.BuildSweep(src, m, key.Budget, opts...)
+	if err != nil {
+		return fmt.Errorf("sweep %s: %w", key, err)
+	}
+	for b := 1; b <= key.Budget; b++ {
+		syn, err := fr.Synopsis(min(b, fr.Bmax()))
+		if err != nil {
+			return fmt.Errorf("sweep %s: budget %d: %w", key, b, err)
+		}
+		blob, err := probsyn.MarshalSynopsis(syn)
+		if err != nil {
+			return err
+		}
+		bkey := key
+		bkey.Budget = b
+		// Same persist-before-publish discipline as build: each budget
+		// becomes servable only once it is durably on disk.
+		if s.cfg.CatalogDir != "" {
+			if err := catalog.WriteBlob(filepath.Join(s.cfg.CatalogDir, bkey.Filename()), blob); err != nil {
+				return fmt.Errorf("persist %s: %w", bkey, err)
+			}
+		}
+		s.cfg.Catalog.PutEncoded(bkey, syn, blob)
+	}
 	return nil
 }
 

@@ -489,3 +489,174 @@ func TestNewValidatesConfig(t *testing.T) {
 		}
 	}
 }
+
+// postSweep POSTs to /v1/sweep with the same body shape as a build.
+func postSweep(t *testing.T, ts *httptest.Server, req BuildRequest) (*http.Response, BuildResponse, ErrorBody) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok BuildResponse
+	var bad ErrorBody
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &ok); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := json.Unmarshal(raw, &bad); err != nil {
+		t.Fatal(err)
+	}
+	return resp, ok, bad
+}
+
+// One POST /v1/sweep must catalog the synopsis for every budget 1..B of
+// the key, each byte-identical — in memory and on disk — to an offline
+// single-budget build, for both families; a re-POST answers "ready".
+func TestSweepCatalogsEveryBudgetByteIdentical(t *testing.T) {
+	catDir := t.TempDir()
+	cat := catalog.New()
+	_, ts, src := newFixture(t, Config{CatalogDir: catDir, Catalog: cat, C: 0.5})
+	const B = 6
+	cases := []struct {
+		family, metric string
+		offline        []probsyn.BuildOption
+	}{
+		{catalog.FamilyHistogram, "SSE", nil},
+		{catalog.FamilyWavelet, "SAE", []probsyn.BuildOption{probsyn.WithWavelet()}},
+	}
+	for _, tc := range cases {
+		resp, ok, bad := postSweep(t, ts, BuildRequest{
+			Dataset: "ds", Family: tc.family, Metric: tc.metric, Budget: B, Wait: true,
+		})
+		if resp.StatusCode != http.StatusOK || ok.Status != "built" {
+			t.Fatalf("%s sweep: status %d %q (error %+v)", tc.family, resp.StatusCode, ok.Status, bad)
+		}
+		if ok.Budgets != B {
+			t.Fatalf("%s sweep: budgets %d, want %d", tc.family, ok.Budgets, B)
+		}
+		for b := 1; b <= B; b++ {
+			key, err := catalog.NewKey("ds", tc.family, tc.metric, b, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entry, found := cat.Get(key)
+			if !found {
+				t.Fatalf("%s sweep: budget %d not cataloged", tc.family, b)
+			}
+			want, err := probsyn.Build(src, mustMetric(t, tc.metric), b, tc.offline...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBytes, err := probsyn.MarshalSynopsis(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBytes, err := synopsis.Marshal(entry.Synopsis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotBytes, wantBytes) {
+				t.Fatalf("%s sweep: budget %d synopsis differs from single offline build", tc.family, b)
+			}
+			disk, err := os.ReadFile(filepath.Join(catDir, key.Filename()))
+			if err != nil {
+				t.Fatalf("%s sweep: budget %d not persisted: %v", tc.family, b, err)
+			}
+			if !bytes.Equal(disk, wantBytes) {
+				t.Fatalf("%s sweep: budget %d catalog file differs from single offline build", tc.family, b)
+			}
+		}
+		// All budgets present now: a repeat answers ready without building.
+		resp, ok, bad = postSweep(t, ts, BuildRequest{Dataset: "ds", Family: tc.family, Metric: tc.metric, Budget: B})
+		if resp.StatusCode != http.StatusOK || ok.Status != "ready" {
+			t.Fatalf("%s re-sweep: status %d %q (error %+v), want 200 ready", tc.family, resp.StatusCode, ok.Status, bad)
+		}
+	}
+}
+
+func mustMetric(t *testing.T, name string) probsyn.Metric {
+	t.Helper()
+	m, err := probsyn.ParseMetric(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A sweep whose budget exceeds the domain still catalogs every requested
+// budget; the over-domain budgets repeat the clamped frontier maximum,
+// exactly as single builds at those budgets would.
+func TestSweepBudgetsBeyondDomainClamp(t *testing.T) {
+	cat := catalog.New()
+	_, ts, src := newFixture(t, Config{Catalog: cat, C: 0.5})
+	n := src.Domain()
+	B := n + 3
+	resp, _, bad := postSweep(t, ts, BuildRequest{
+		Dataset: "ds", Family: catalog.FamilyHistogram, Metric: "SSE", Budget: B, Wait: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d, error %+v", resp.StatusCode, bad)
+	}
+	for _, b := range []int{n, n + 1, B} {
+		key, err := catalog.NewKey("ds", catalog.FamilyHistogram, "SSE", b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entry, found := cat.Get(key)
+		if !found {
+			t.Fatalf("budget %d missing from swept catalog", b)
+		}
+		if got := entry.Synopsis.Terms(); got != n {
+			t.Fatalf("budget %d has %d terms, want the domain-clamped %d", b, got, n)
+		}
+	}
+}
+
+// Sweep budgets are bounded per request: a sweep registers one catalog
+// entry per budget, so an astronomically large budget field must be
+// rejected up front instead of grinding the server.
+func TestSweepBudgetBounded(t *testing.T) {
+	_, ts, _ := newFixture(t, Config{C: 0.5})
+	resp, _, bad := postSweep(t, ts, BuildRequest{
+		Dataset: "ds", Family: catalog.FamilyHistogram, Metric: "SSE", Budget: maxSweepBudget + 1,
+	})
+	if resp.StatusCode != http.StatusBadRequest || bad.Error.Code != CodeBadRequest {
+		t.Fatalf("oversized sweep: status %d, error %+v, want 400 bad_request", resp.StatusCode, bad)
+	}
+}
+
+// Sweeps dedupe with sweeps: re-POSTing a queued sweep attaches to the
+// in-flight job instead of enqueueing another frontier build.
+func TestDuplicateSweepRequestsCoalesce(t *testing.T) {
+	pool := engine.New(engine.Options{Workers: 1, MaxBuilds: 1})
+	cat := catalog.New()
+	_, ts, _ := newFixture(t, Config{Pool: pool, Catalog: cat, BuildWorkers: 1, QueueDepth: 1, C: 0.5})
+	release, err := pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := BuildRequest{Dataset: "ds", Family: catalog.FamilyHistogram, Metric: "SSE", Budget: 4}
+	for k := 0; k < 5; k++ {
+		resp, ok, bad := postSweep(t, ts, req)
+		if resp.StatusCode != http.StatusAccepted || ok.Status != "queued" {
+			t.Fatalf("re-POST %d: status %d %q (error %+v), want 202 queued", k, resp.StatusCode, ok.Status, bad)
+		}
+	}
+	release()
+	req.Wait = true
+	if resp, _, bad := postSweep(t, ts, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("final wait sweep: status %d, error %+v", resp.StatusCode, bad)
+	}
+	if cat.Len() != req.Budget {
+		t.Fatalf("catalog has %d entries after duplicate sweeps, want %d", cat.Len(), req.Budget)
+	}
+}

@@ -162,46 +162,28 @@ func BuildRestrictedWorkers(src pdata.Source, kind metric.Kind, p metric.Params,
 // so the synopsis — coefficients, values, and cost — is bit-identical at
 // any worker count.
 func BuildRestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B int, pool *engine.Pool) (*Synopsis, float64, error) {
-	if B < 0 {
-		return nil, 0, fmt.Errorf("wavelet: negative budget %d", B)
-	}
-	vp := padValuePDF(pdata.AsValuePDF(src))
-	pe, err := NewPointErrors(vp, kind, p)
+	sw, err := SweepRestrictedPool(src, kind, p, B, pool)
 	if err != nil {
 		return nil, 0, err
 	}
-	n := vp.N
-	cvals := haar.Forward(vp.ExpectedFreqs())
-	if B > n {
-		B = n
-	}
+	syn := sw.at(min(B, sw.bmax))
+	return syn, syn.Cost, nil
+}
 
-	if n == 1 {
-		syn := &Synopsis{N: 1}
-		errNo := pe.Err(0, 0)
-		if B >= 1 && pe.Err(0, cvals[0]) <= errNo {
-			syn.Indices = []int{0}
-			syn.Values = []float64{cvals[0]}
-			syn.Cost = pe.Err(0, cvals[0])
-			return syn, syn.Cost, nil
-		}
-		syn.Cost = errNo
-		return syn, errNo, nil
+// restrictedSingleton solves the n == 1 domain at budget b: retain c0 at
+// its expected value when the budget allows and it is no worse than
+// dropping.
+func restrictedSingleton(pe *PointErrors, c0 float64, b int) *Synopsis {
+	syn := &Synopsis{N: 1}
+	errNo := pe.Err(0, 0)
+	if b >= 1 && pe.Err(0, c0) <= errNo {
+		syn.Indices = []int{0}
+		syn.Values = []float64{c0}
+		syn.Cost = pe.Err(0, c0)
+		return syn
 	}
-
-	// The restricted problem is the shared tree DP with a single
-	// candidate per coefficient: its expected value.
-	cands := make([][]float64, n)
-	for j := range cands {
-		cands[j] = cvals[j : j+1]
-	}
-	keep, best, err := runTreeDP(n, B, cands, pe, kind.Cumulative(), pool)
-	if err != nil {
-		return nil, 0, err
-	}
-	syn := synopsisFromChoices(n, keep)
-	syn.Cost = best
-	return syn, best, nil
+	syn.Cost = errNo
+	return syn
 }
 
 // padValuePDF extends a value pdf with deterministic-zero items up to the

@@ -1,0 +1,220 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"probsyn/internal/engine"
+	"probsyn/internal/haar"
+	"probsyn/internal/metric"
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// Sweep is a completed budget frontier: one forward DP (or one greedy
+// ordering, for the SSE family) answering the optimal cost and synopsis
+// for every coefficient budget 1 <= b <= Bmax. Extraction re-derives the
+// budget-b backtrack from the kept level tables, performing exactly the
+// operations an independent budget-b build would — so Synopsis(b) is
+// bit-identical (coefficients, values, and Cost) to building at budget b
+// directly, and a whole cost-vs-budget frontier (the paper's Figure 2/4
+// x-axes) costs one build instead of Bmax.
+//
+// A Sweep retains the DP's per-level tables until it is garbage
+// collected; extraction only reads them, so Synopsis may be called
+// concurrently.
+type Sweep struct {
+	n     int
+	bmax  int
+	costs []float64 // costs[b-1]: optimal expected error at budget b
+	at    func(b int) *Synopsis
+	pool  *engine.Pool
+}
+
+// Bmax returns the largest budget the sweep covers (the build budget,
+// clamped to the padded domain size).
+func (s *Sweep) Bmax() int { return s.bmax }
+
+// Cost returns the optimal expected error at budget b (clamped to
+// [1, Bmax]), without materializing the synopsis. A zero-budget sweep
+// (Bmax 0, possible when the requested budget was 0) has one cost: the
+// empty synopsis's.
+func (s *Sweep) Cost(b int) float64 {
+	if s.bmax == 0 {
+		return s.at(0).Cost
+	}
+	if b > s.bmax {
+		b = s.bmax
+	}
+	if b < 1 {
+		b = 1
+	}
+	return s.costs[b-1]
+}
+
+// Synopsis extracts the optimal budget-b synopsis, 1 <= b <= Bmax.
+func (s *Sweep) Synopsis(b int) (*Synopsis, error) {
+	if b < 1 || b > s.bmax {
+		return nil, fmt.Errorf("wavelet: sweep budget %d outside [1, %d]", b, s.bmax)
+	}
+	return s.at(b), nil
+}
+
+// Synopses extracts every budget 1..Bmax, dispatching the independent
+// per-budget backtracks through the sweep's engine pool. Extraction
+// slots are independent reads of the kept tables, so the result is
+// bit-identical at any worker count.
+func (s *Sweep) Synopses() []*Synopsis {
+	out := make([]*Synopsis, s.bmax)
+	s.pool.Dispatch(1, s.bmax+1, s.bmax*s.n, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			out[b-1] = s.at(b)
+		}
+	})
+	return out
+}
+
+// SweepRestricted is SweepRestrictedPool with a nil (serial) pool.
+func SweepRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int) (*Sweep, error) {
+	return SweepRestrictedPool(src, kind, p, B, nil)
+}
+
+// SweepRestrictedPool runs the restricted coefficient-tree DP (Theorem 8)
+// once at budget B and returns the whole frontier: every budget b <= B is
+// a backtrack away, bit-identical to BuildRestrictedPool at budget b.
+func SweepRestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B int, pool *engine.Pool) (*Sweep, error) {
+	if B < 0 {
+		return nil, fmt.Errorf("wavelet: negative budget %d", B)
+	}
+	vp := padValuePDF(pdata.AsValuePDF(src))
+	pe, err := NewPointErrors(vp, kind, p)
+	if err != nil {
+		return nil, err
+	}
+	n := vp.N
+	cvals := haar.Forward(vp.ExpectedFreqs())
+	if B > n {
+		B = n
+	}
+	if n == 1 {
+		return singletonSweep(B, func(b int) *Synopsis {
+			return restrictedSingleton(pe, cvals[0], b)
+		}), nil
+	}
+	// The restricted problem is the shared tree DP with a single
+	// candidate per coefficient: its expected value.
+	cands := make([][]float64, n)
+	for j := range cands {
+		cands[j] = cvals[j : j+1]
+	}
+	return dpSweep(n, B, cands, pe, kind.Cumulative(), pool)
+}
+
+// SweepUnrestricted is SweepUnrestrictedPool with a nil (serial) pool.
+func SweepUnrestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q int) (*Sweep, error) {
+	return SweepUnrestrictedPool(src, kind, p, B, q, nil)
+}
+
+// SweepUnrestrictedPool runs the quantized unrestricted DP (§4.2 sketch)
+// once at budget B and returns the whole frontier; every budget b <= B
+// is bit-identical to BuildUnrestrictedPool at budget b and the same q.
+func SweepUnrestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Sweep, error) {
+	if B < 0 {
+		return nil, fmt.Errorf("wavelet: negative budget %d", B)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("wavelet: negative quantization %d", q)
+	}
+	vp := padValuePDF(pdata.AsValuePDF(src))
+	pe, err := NewPointErrors(vp, kind, p)
+	if err != nil {
+		return nil, err
+	}
+	n := vp.N
+	mu := haar.Forward(vp.ExpectedFreqs())
+	if B > n {
+		B = n
+	}
+	cands := candidateGrids(vp, mu, q)
+	if n == 1 {
+		return singletonSweep(B, func(b int) *Synopsis {
+			return unrestrictedSingleton(pe, cands[0], b)
+		}), nil
+	}
+	return dpSweep(n, B, cands, pe, kind.Cumulative(), pool)
+}
+
+// SweepSSE is the frontier of the greedy SSE-optimal build (Theorem 7):
+// the magnitude order of the expected normalized coefficients is computed
+// once, and budget b keeps its first b entries — exactly the set (and the
+// cost accounting) BuildSSE produces at budget b.
+func SweepSSE(src pdata.Source, B int) (*Sweep, error) {
+	if B < 0 {
+		return nil, fmt.Errorf("wavelet: negative budget %d", B)
+	}
+	expected := haar.Pad(src.ExpectedFreqs())
+	c := haar.Forward(expected)
+	n := len(c)
+	if B > n {
+		B = n
+	}
+	// TopK's order is a deterministic total order (magnitude, then
+	// index), so TopK(c, b) is the b-prefix of TopK(c, n) for every b.
+	order := haar.TopK(c, n)
+	totalMuSq := 0.0
+	for i, v := range c {
+		nv := v * haar.NormFactor(i, n)
+		totalMuSq += nv * nv
+	}
+	mom := pdata.MomentsOf(src)
+	var acc numeric.Accumulator
+	for _, v := range mom.Var {
+		acc.Add(v)
+	}
+	varianceFloor := acc.Value()
+	at := func(b int) *Synopsis {
+		syn := fromDense(c, order[:b])
+		retained := 0.0
+		for k, i := range syn.Indices {
+			nv := syn.Values[k] * haar.NormFactor(i, n)
+			retained += nv * nv
+		}
+		syn.Cost = varianceFloor + (totalMuSq - retained)
+		return syn
+	}
+	costs := make([]float64, B)
+	for b := 1; b <= B; b++ {
+		costs[b-1] = at(b).Cost
+	}
+	return &Sweep{n: n, bmax: B, costs: costs, at: at, pool: engine.Serial()}, nil
+}
+
+// dpSweep runs the shared tree DP once and wraps its tables as a Sweep.
+func dpSweep(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, pool *engine.Pool) (*Sweep, error) {
+	d, err := newTreeDP(n, B, cands, pe, cumulative, pool)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]float64, B)
+	for b := 1; b <= B; b++ {
+		costs[b-1] = d.cost(b)
+	}
+	return &Sweep{
+		n: n, bmax: B, costs: costs, pool: d.pool,
+		at: func(b int) *Synopsis {
+			keep, best := d.extract(b)
+			syn := synopsisFromChoices(n, keep)
+			syn.Cost = best
+			return syn
+		},
+	}, nil
+}
+
+// singletonSweep wraps the degenerate n == 1 domain, where budgets are 0
+// or 1 and each family enumerates its candidates directly.
+func singletonSweep(B int, at func(b int) *Synopsis) *Sweep {
+	costs := make([]float64, B)
+	for b := 1; b <= B; b++ {
+		costs[b-1] = at(b).Cost
+	}
+	return &Sweep{n: 1, bmax: B, costs: costs, at: at, pool: engine.Serial()}
+}

@@ -1,0 +1,202 @@
+package wavelet_test
+
+// Sweep frontier tests: one DP run must serve every budget b <= B with
+// exactly the synopsis (coefficients, values, cost — bit-identical) an
+// independent budget-b build produces, for the restricted, unrestricted,
+// and greedy-SSE families, at several worker counts and on the degenerate
+// one- and two-item domains.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"probsyn/internal/metric"
+	"probsyn/internal/pdata"
+	"probsyn/internal/ptest"
+	"probsyn/internal/wavelet"
+)
+
+// sweepFamilies enumerates the sweep constructors next to their
+// single-budget builders, so every test covers all three families.
+type sweepFamily struct {
+	name  string
+	sweep func(src pdata.Source, B int, workers int) (*wavelet.Sweep, error)
+	build func(src pdata.Source, B int, workers int) (*wavelet.Synopsis, float64, error)
+}
+
+func families() []sweepFamily {
+	p := metric.Params{C: 0.5}
+	return []sweepFamily{
+		{
+			name: "restricted",
+			sweep: func(src pdata.Source, B, workers int) (*wavelet.Sweep, error) {
+				return wavelet.SweepRestrictedPool(src, metric.SAE, p, B, finePool(workers))
+			},
+			build: func(src pdata.Source, B, workers int) (*wavelet.Synopsis, float64, error) {
+				return wavelet.BuildRestrictedPool(src, metric.SAE, p, B, finePool(workers))
+			},
+		},
+		{
+			name: "unrestricted",
+			sweep: func(src pdata.Source, B, workers int) (*wavelet.Sweep, error) {
+				return wavelet.SweepUnrestrictedPool(src, metric.SARE, p, B, 2, finePool(workers))
+			},
+			build: func(src pdata.Source, B, workers int) (*wavelet.Synopsis, float64, error) {
+				return wavelet.BuildUnrestrictedPool(src, metric.SARE, p, B, 2, finePool(workers))
+			},
+		},
+		{
+			name: "sse",
+			sweep: func(src pdata.Source, B, _ int) (*wavelet.Sweep, error) {
+				return wavelet.SweepSSE(src, B)
+			},
+			build: func(src pdata.Source, B, _ int) (*wavelet.Synopsis, float64, error) {
+				syn, _, err := wavelet.BuildSSE(src, B)
+				if err != nil {
+					return nil, 0, err
+				}
+				return syn, syn.Cost, nil
+			},
+		},
+	}
+}
+
+func TestSweepMatchesIndependentBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sources := map[string]pdata.Source{
+		"value": ptest.RandomValuePDF(rng, 16, 3),
+		"basic": ptest.RandomBasic(rng, 16, 20),
+	}
+	const B = 16
+	for _, fam := range families() {
+		for srcName, src := range sources {
+			for _, workers := range []int{1, 2, runtime.NumCPU()} {
+				sw, err := fam.sweep(src, B, workers)
+				if err != nil {
+					t.Fatalf("%s/%s: sweep: %v", fam.name, srcName, err)
+				}
+				if sw.Bmax() != B {
+					t.Fatalf("%s/%s: Bmax = %d, want %d", fam.name, srcName, sw.Bmax(), B)
+				}
+				prev := 0.0
+				for b := 1; b <= B; b++ {
+					got, err := sw.Synopsis(b)
+					if err != nil {
+						t.Fatalf("%s/%s: Synopsis(%d): %v", fam.name, srcName, b, err)
+					}
+					// Independent builds run serial: the sweep's parallel
+					// schedule must not change a single bit.
+					want, cost, err := fam.build(src, b, 1)
+					if err != nil {
+						t.Fatalf("%s/%s: build(%d): %v", fam.name, srcName, b, err)
+					}
+					label := fam.name + "/" + srcName
+					synopsesIdentical(t, label, want, got, cost, got.Cost)
+					if sw.Cost(b) != cost {
+						t.Fatalf("%s: Cost(%d) = %v, independent build cost %v", label, b, sw.Cost(b), cost)
+					}
+					if b > 1 && sw.Cost(b) > prev {
+						t.Fatalf("%s: frontier not non-increasing: Cost(%d)=%v > Cost(%d)=%v",
+							label, b, sw.Cost(b), b-1, prev)
+					}
+					prev = sw.Cost(b)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSynopsesParallelExtraction: extracting all budgets through the
+// pool yields exactly the per-budget extractions.
+func TestSweepSynopsesParallelExtraction(t *testing.T) {
+	src := ptest.RandomValuePDF(rand.New(rand.NewSource(5)), 32, 3)
+	const B = 12
+	sw, err := wavelet.SweepRestrictedPool(src, metric.SAE, metric.Params{C: 0.5}, B, finePool(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sw.Synopses()
+	if len(all) != B {
+		t.Fatalf("Synopses() returned %d budgets, want %d", len(all), B)
+	}
+	for b := 1; b <= B; b++ {
+		one, err := sw.Synopsis(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		synopsesIdentical(t, "parallel-extract", one, all[b-1], one.Cost, all[b-1].Cost)
+	}
+}
+
+// TestSweepTinyDomains exercises the n == 1 and n == 2 special paths of
+// every family.
+func TestSweepTinyDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2} {
+		src := ptest.RandomValuePDF(rng, n, 3)
+		for _, fam := range families() {
+			sw, err := fam.sweep(src, n, 1)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, fam.name, err)
+			}
+			if sw.Bmax() != n {
+				t.Fatalf("n=%d %s: Bmax = %d, want %d", n, fam.name, sw.Bmax(), n)
+			}
+			for b := 1; b <= n; b++ {
+				got, err := sw.Synopsis(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, cost, err := fam.build(src, b, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				synopsesIdentical(t, fam.name, want, got, cost, got.Cost)
+			}
+		}
+	}
+}
+
+// TestSweepBudgetValidation: out-of-range extraction budgets error
+// instead of clamping silently; Cost clamps like hist.DPTable.
+func TestSweepBudgetValidation(t *testing.T) {
+	src := ptest.RandomValuePDF(rand.New(rand.NewSource(3)), 8, 3)
+	sw, err := wavelet.SweepRestricted(src, metric.SAE, metric.Params{C: 0.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{0, -1, 5} {
+		if _, err := sw.Synopsis(b); err == nil {
+			t.Fatalf("Synopsis(%d) succeeded, want range error", b)
+		}
+	}
+	if sw.Cost(99) != sw.Cost(4) || sw.Cost(-3) != sw.Cost(1) {
+		t.Fatal("Cost should clamp out-of-range budgets")
+	}
+	if _, err := wavelet.SweepRestricted(src, metric.SAE, metric.Params{C: 0.5}, -1); err == nil {
+		t.Fatal("negative sweep budget accepted")
+	}
+	// A zero-budget sweep (built internally by Build* at B=0) has no
+	// extractable budgets but must still answer Cost without panicking.
+	zero, err := wavelet.SweepRestricted(src, metric.SAE, metric.Params{C: 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Bmax() != 0 {
+		t.Fatalf("zero sweep Bmax = %d", zero.Bmax())
+	}
+	_, emptyCost, err := wavelet.BuildRestricted(src, metric.SAE, metric.Params{C: 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zero.Cost(1); got != emptyCost {
+		t.Fatalf("zero sweep Cost = %v, empty build cost %v", got, emptyCost)
+	}
+	if _, err := zero.Synopsis(1); err == nil {
+		t.Fatal("zero sweep Synopsis(1) succeeded, want range error")
+	}
+	if _, err := wavelet.SweepUnrestricted(src, metric.SAE, metric.Params{C: 0.5}, 4, -1); err == nil {
+		t.Fatal("negative quantization accepted")
+	}
+}

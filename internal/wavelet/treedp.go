@@ -66,12 +66,15 @@ type treeDP struct {
 	bcap []int       // bcap[l] = min(B, subtree coefficient count)
 }
 
-// runTreeDP executes the shared DP: forward level sweeps through the
-// pool, then the serial deterministic backtrack. cands[j] lists the
-// candidate retained values of coefficient j (the restricted problem
-// passes exactly its expected value); cands[0] is the overall average c0.
-// Returns the retained coefficients and the optimal expected error.
-func runTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, pool *engine.Pool) ([]coefChoice, float64, error) {
+// newTreeDP executes the shared DP's forward level sweeps through the
+// pool and returns the solved table set. cands[j] lists the candidate
+// retained values of coefficient j (the restricted problem passes exactly
+// its expected value); cands[0] is the overall average c0. The kept level
+// tables answer extract(b) for every budget b <= B: an entry at budget
+// index b' is computed only from child entries at budgets <= b', so the
+// prefix of each table up to b is identical to the table a budget-b DP
+// would have built — one forward run serves the whole budget frontier.
+func newTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, pool *engine.Pool) (*treeDP, error) {
 	if pool == nil {
 		pool = engine.Serial()
 	}
@@ -80,10 +83,10 @@ func runTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, po
 		cands: cands, pe: pe, cumulative: cumulative, pool: pool,
 	}
 	if d.levels == 1 {
-		return d.solveRootLeaf()
+		return d, nil // n == 2: extract enumerates the two nodes directly
 	}
 	if err := d.layout(); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	vals := d.incomingValues()
 	d.res = make([][]float64, d.levels-1)
@@ -91,7 +94,7 @@ func runTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, po
 	for l := d.levels - 3; l >= 0; l-- {
 		d.solveLevel(l, nil)
 	}
-	return d.finish()
+	return d, nil
 }
 
 func (d *treeDP) combine(a, b float64) float64 {
@@ -274,30 +277,67 @@ func (d *treeDP) solveLevel(l int, vals []float64) {
 	})
 }
 
-// finish scans the root's c0 decisions — drop first, then candidates in
-// order, with strict <, matching the forward tie-break — and backtracks
-// the winning decision path.
-func (d *treeDP) finish() ([]coefChoice, float64, error) {
-	entries := d.bcap[0] + 1
-	block := func(s int) []float64 { return d.res[0][s*entries : (s+1)*entries] }
-	best := block(0)[min(d.B, d.bcap[0])]
-	bestD := 0
-	if d.B >= 1 {
-		for c := range d.cands[0] {
-			if v := block(c + 1)[min(d.B-1, d.bcap[0])]; v < best {
-				best, bestD = v, c+1
-			}
-		}
+// extract re-derives the optimal retained set and cost at budget b
+// (clamped to [0, B]) from the kept tables: the root scan and backtrack
+// perform exactly the operations a budget-b DP's finish would, so the
+// extracted solution is bit-identical to an independent budget-b build.
+// It only reads the tables — concurrent extractions at different budgets
+// are safe.
+func (d *treeDP) extract(b int) ([]coefChoice, float64) {
+	if b > d.B {
+		b = d.B
 	}
+	if b < 0 {
+		b = 0
+	}
+	if d.levels == 1 {
+		return d.extractRootLeaf(b)
+	}
+	bestD, best := d.rootBest(b)
 	var keep []coefChoice
 	if bestD > 0 {
 		w := d.cands[0][bestD-1]
 		keep = append(keep, coefChoice{0, w})
-		d.walk(0, 1, bestD, w, d.B-1, &keep)
+		d.walk(0, 1, bestD, w, b-1, &keep)
 	} else {
-		d.walk(0, 1, 0, 0, d.B, &keep)
+		d.walk(0, 1, 0, 0, b, &keep)
 	}
-	return keep, best, nil
+	return keep, best
+}
+
+// cost returns only the optimal expected error at budget b (no
+// backtrack) — the cheap half of extract, for frontier cost curves.
+func (d *treeDP) cost(b int) float64 {
+	if b > d.B {
+		b = d.B
+	}
+	if b < 0 {
+		b = 0
+	}
+	if d.levels == 1 {
+		_, c := d.extractRootLeaf(b)
+		return c
+	}
+	_, best := d.rootBest(b)
+	return best
+}
+
+// rootBest scans the root's c0 decisions at budget b — drop first, then
+// candidates in order, with strict <, matching the forward tie-break —
+// and returns the winning decision and its cost.
+func (d *treeDP) rootBest(b int) (int, float64) {
+	entries := d.bcap[0] + 1
+	block := func(s int) []float64 { return d.res[0][s*entries : (s+1)*entries] }
+	best := block(0)[min(b, d.bcap[0])]
+	bestD := 0
+	if b >= 1 {
+		for c := range d.cands[0] {
+			if v := block(c + 1)[min(b-1, d.bcap[0])]; v < best {
+				best, bestD = v, c+1
+			}
+		}
+	}
+	return bestD, best
 }
 
 // walk re-derives the argmin decisions of node j (level l, state local,
@@ -399,33 +439,33 @@ func (d *treeDP) walkLeaf(j int, v float64, b int, keep *[]coefChoice) {
 	}
 }
 
-// solveRootLeaf handles n == 2, where the single detail node is itself a
-// finest-level node: enumerate the c0 decisions directly.
-func (d *treeDP) solveRootLeaf() ([]coefChoice, float64, error) {
-	tbl := make([]float64, min(d.B, 1)+1)
+// extractRootLeaf handles n == 2, where the single detail node is itself
+// a finest-level node: enumerate the c0 decisions directly at budget b.
+func (d *treeDP) extractRootLeaf(b int) ([]coefChoice, float64) {
+	tbl := make([]float64, min(b, 1)+1)
 	best := math.Inf(1)
 	bestD := 0
 	for dd := 0; dd <= len(d.cands[0]); dd++ {
-		budget, v := d.B, 0.0
+		budget, v := b, 0.0
 		if dd > 0 {
-			if d.B < 1 {
+			if b < 1 {
 				break
 			}
-			budget, v = d.B-1, d.cands[0][dd-1]
+			budget, v = b-1, d.cands[0][dd-1]
 		}
 		d.leafTables(1, v, tbl)
-		if c := tbl[min(budget, min(d.B, 1))]; c < best {
+		if c := tbl[min(budget, min(b, 1))]; c < best {
 			best, bestD = c, dd
 		}
 	}
 	var keep []coefChoice
-	v, budget := 0.0, d.B
+	v, budget := 0.0, b
 	if bestD > 0 {
-		v, budget = d.cands[0][bestD-1], d.B-1
+		v, budget = d.cands[0][bestD-1], b-1
 		keep = append(keep, coefChoice{0, v})
 	}
 	d.walkLeaf(1, v, budget, &keep)
-	return keep, best, nil
+	return keep, best
 }
 
 // synopsisFromChoices assembles a sparse synopsis from retained

@@ -1,7 +1,6 @@
 package wavelet
 
 import (
-	"fmt"
 	"math"
 
 	"probsyn/internal/engine"
@@ -48,52 +47,32 @@ func BuildUnrestrictedWorkers(src pdata.Source, kind metric.Kind, p metric.Param
 // engine pool (nil means serial); like the restricted build, the result
 // is bit-identical at any worker count.
 func BuildUnrestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Synopsis, float64, error) {
-	if B < 0 {
-		return nil, 0, fmt.Errorf("wavelet: negative budget %d", B)
-	}
-	if q < 0 {
-		return nil, 0, fmt.Errorf("wavelet: negative quantization %d", q)
-	}
-	vp := padValuePDF(pdata.AsValuePDF(src))
-	pe, err := NewPointErrors(vp, kind, p)
+	sw, err := SweepUnrestrictedPool(src, kind, p, B, q, pool)
 	if err != nil {
 		return nil, 0, err
 	}
-	n := vp.N
-	mu := haar.Forward(vp.ExpectedFreqs())
-	if B > n {
-		B = n
-	}
+	syn := sw.at(min(B, sw.bmax))
+	return syn, syn.Cost, nil
+}
 
-	// Candidate values per coefficient: expected value plus a symmetric
-	// quantized grid over the pessimistic range.
-	cands := candidateGrids(vp, mu, q)
-
-	if n == 1 {
-		syn := &Synopsis{N: 1}
-		best := pe.Err(0, 0)
-		bestV := math.NaN()
-		if B >= 1 {
-			for _, v := range cands[0] {
-				if e := pe.Err(0, v); e < best {
-					best, bestV = e, v
-				}
+// unrestrictedSingleton solves the n == 1 domain at budget b: retain the
+// best candidate value only when strictly better than dropping.
+func unrestrictedSingleton(pe *PointErrors, cands []float64, b int) *Synopsis {
+	syn := &Synopsis{N: 1}
+	best := pe.Err(0, 0)
+	bestV := math.NaN()
+	if b >= 1 {
+		for _, v := range cands {
+			if e := pe.Err(0, v); e < best {
+				best, bestV = e, v
 			}
 		}
-		if !math.IsNaN(bestV) {
-			syn.Indices, syn.Values = []int{0}, []float64{bestV}
-		}
-		syn.Cost = best
-		return syn, best, nil
 	}
-
-	keep, best, err := runTreeDP(n, B, cands, pe, kind.Cumulative(), pool)
-	if err != nil {
-		return nil, 0, err
+	if !math.IsNaN(bestV) {
+		syn.Indices, syn.Values = []int{0}, []float64{bestV}
 	}
-	syn := synopsisFromChoices(n, keep)
 	syn.Cost = best
-	return syn, best, nil
+	return syn
 }
 
 // candidateGrids builds each coefficient's candidate value list: μ first

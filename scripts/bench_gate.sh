@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench_gate.sh — compare a fresh bench run against the committed
+# baseline snapshot and fail on large regressions.
+#
+# Usage: bench_gate.sh <baseline.json> <fresh.json>
+#
+# Both files are bench_json.sh output. For every benchmark present in
+# BOTH files, the ns/op ratio fresh/baseline is checked:
+#
+#   > 2.0x  -> regression: reported and the script exits 1
+#   > 1.3x  -> warning: reported, exit status unaffected
+#
+# Benchmarks below a noise floor (10 ms in the baseline) are skipped:
+# CI runs the suite at -benchtime=1x, single-shot timings jitter far
+# beyond any useful threshold at small scales, and the snapshot may
+# come from a different machine class than the runner — the benches
+# that matter for regression detection (figure sweeps, DP builds,
+# frontier amortization) all run tens of milliseconds to seconds.
+# Benchmarks present in only one file (added or removed this PR) are
+# listed but never gate. The thresholds are deliberately loose — this
+# is a backstop against accidental algorithmic regressions (a DP going
+# quadratic, a pool serializing), not a microbenchmark tribunal.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <baseline.json> <fresh.json>" >&2
+  exit 2
+fi
+BASELINE=$1 FRESH=$2
+
+# Flatten "name"/"ns_per_op" pairs out of the one-object-per-line JSON
+# bench_json.sh writes.
+extract() {
+  awk 'match($0, /"name": "[^"]+"/) {
+         name = substr($0, RSTART + 9, RLENGTH - 10)
+         if (match($0, /"ns_per_op": [0-9.eE+-]+/))
+           print name, substr($0, RSTART + 13, RLENGTH - 13)
+       }' "$1"
+}
+
+extract "$BASELINE" > /tmp/bench_gate_base.$$
+extract "$FRESH" > /tmp/bench_gate_fresh.$$
+trap 'rm -f /tmp/bench_gate_base.$$ /tmp/bench_gate_fresh.$$' EXIT
+
+awk -v floor=10000000 '
+  NR == FNR { base[$1] = $2; next }
+  {
+    fresh[$1] = $2
+    if (!($1 in base)) { added++; next }
+    if (base[$1] < floor) { skipped++; next }
+    ratio = $2 / base[$1]
+    if (ratio > 2.0) {
+      printf("REGRESSION %s: %.0f -> %.0f ns/op (%.2fx)\n", $1, base[$1], $2, ratio)
+      bad++
+    } else if (ratio > 1.3) {
+      printf("warning    %s: %.0f -> %.0f ns/op (%.2fx)\n", $1, base[$1], $2, ratio)
+      warned++
+    }
+  }
+  END {
+    for (n in base) if (!(n in fresh)) removed++
+    printf("bench gate: %d compared, %d below noise floor, %d added, %d removed, %d warnings, %d regressions\n",
+           FNR - added, skipped, added, removed, warned, bad)
+    if (bad > 0) exit 1
+  }' /tmp/bench_gate_base.$$ /tmp/bench_gate_fresh.$$

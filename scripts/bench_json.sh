@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# bench_json.sh — parse `go test -bench` output into a JSON array.
+#
+# Usage: bench_json.sh <bench.out> <out.json>
+#
+# Each "BenchmarkName-P  iters  ns/op ..." line becomes
+#   {"name": "BenchmarkName", "iters": N, "ns_per_op": X}
+# with the trailing -P GOMAXPROCS suffix stripped, so snapshots taken on
+# machines with different core counts compare by name (bench_gate.sh
+# relies on this).
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <bench.out> <out.json>" >&2
+  exit 2
+fi
+
+awk 'BEGIN { print "["; first = 1 }
+     /^Benchmark/ && NF >= 3 {
+       name = $1
+       sub(/-[0-9]+$/, "", name)
+       if (!first) printf(",\n")
+       first = 0
+       printf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", name, $2, $3)
+     }
+     END { print "\n]" }' "$1" > "$2"

@@ -13,6 +13,12 @@ import (
 // codec details.
 type Synopsis = synopsis.Synopsis
 
+// Frontier is a whole cost-vs-budget curve from one build: optimal costs
+// and a Synopsis extractor for every budget 1 <= b <= Bmax, with each
+// extracted synopsis byte-identical (through the codec) to an independent
+// build at that budget. BuildSweep constructs one for either family.
+type Frontier = synopsis.Frontier
+
 // MarshalSynopsis serializes a synopsis in the versioned binary envelope
 // ("PSYN" magic, type-tagged, CRC-checked payload).
 func MarshalSynopsis(s Synopsis) ([]byte, error) { return synopsis.Marshal(s) }
