@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"testing"
 
+	"probsyn"
 	"probsyn/internal/eval"
 	"probsyn/internal/gen"
 	"probsyn/internal/hist"
@@ -460,4 +461,149 @@ func BenchmarkMonteCarloEvaluation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- incremental maintenance -------------------------------------------------
+
+// The incremental benchmarks prove the live-maintenance acceptance
+// target: at n=1024 (padded, for wavelets), B=32, one live mutation —
+// including the revalidated frontier it leaves behind — must be >= 5x
+// cheaper than a from-scratch BuildSweep over the same data. Each family
+// is measured where its incremental path applies: histogram updates land
+// near the domain tail (re-DP cost is proportional to the columns right
+// of the update), wavelet updates are mean-preserving corrections (the
+// dirty-path repair; mean-changing updates re-run the forward sweep),
+// and wavelet appends ride the SSE family (DP-family appends move every
+// path coefficient's expected value, which is a full resweep by design —
+// see DESIGN.md "Incremental maintenance").
+
+const incrB = 32
+
+// incrHistSource: the histogram benches run at the acceptance n directly.
+func incrHistSource() *probsyn.ValuePDF {
+	return gen.SensorGrid(rand.New(rand.NewSource(42)), gen.DefaultSensor(1024))
+}
+
+// incrWaveSource: logical 1008 pads to the acceptance n=1024 and leaves
+// 16 slots so appends stay inside the padding between live rebuilds.
+func incrWaveSource() *probsyn.ValuePDF {
+	return gen.SensorGrid(rand.New(rand.NewSource(42)), gen.DefaultSensor(1008))
+}
+
+// Exactly-mean-1 pdfs: alternating between them is a mean-preserving
+// correction (0.5*2 == 0.25*1 + 0.25*3), the wavelet fast path.
+var (
+	incrItemA = probsyn.ItemPDF{Entries: []probsyn.FreqProb{{Freq: 2, Prob: 0.5}}}
+	incrItemB = probsyn.ItemPDF{Entries: []probsyn.FreqProb{{Freq: 1, Prob: 0.25}, {Freq: 3, Prob: 0.25}}}
+)
+
+func mustBuildLive(b *testing.B, src *probsyn.ValuePDF, m probsyn.Metric, opts ...probsyn.BuildOption) probsyn.Maintainer {
+	b.Helper()
+	live, err := probsyn.BuildLive(src, m, incrB, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return live
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	b.Run("histogram-live", func(b *testing.B) {
+		src := incrHistSource()
+		live := mustBuildLive(b, src, probsyn.SSE)
+		at := src.N - 64 // tail correction: 64 suffix columns re-run
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			it := incrItemA
+			if i%2 == 1 {
+				it = incrItemB
+			}
+			if err := live.Update(at, it); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("histogram-rebuild", func(b *testing.B) {
+		src := incrHistSource()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := probsyn.BuildSweep(src, probsyn.SSE, incrB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wavelet-live", func(b *testing.B) {
+		src := incrWaveSource()
+		live := mustBuildLive(b, src, probsyn.SAE, probsyn.WithWavelet())
+		at := src.N / 2
+		if err := live.Update(at, incrItemA); err != nil { // pin an exact mean (untimed)
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			it := incrItemB
+			if i%2 == 1 {
+				it = incrItemA
+			}
+			if err := live.Update(at, it); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wavelet-rebuild", func(b *testing.B) {
+		src := incrWaveSource()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := probsyn.BuildSweep(src, probsyn.SAE, incrB, probsyn.WithWavelet()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkIncrementalAppend(b *testing.B) {
+	appendLoop := func(b *testing.B, build func() probsyn.Maintainer, capacity int) {
+		b.Helper()
+		var live probsyn.Maintainer
+		used := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if live == nil || used == capacity {
+				b.StopTimer()
+				live, used = build(), 0
+				b.StartTimer()
+			}
+			if err := live.Append([]probsyn.ItemPDF{incrItemA}); err != nil {
+				b.Fatal(err)
+			}
+			used++
+		}
+	}
+	b.Run("histogram-live", func(b *testing.B) {
+		src := incrHistSource()
+		appendLoop(b, func() probsyn.Maintainer { return mustBuildLive(b, src, probsyn.SSE) }, 64)
+	})
+	b.Run("histogram-rebuild", func(b *testing.B) {
+		src := incrHistSource()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := probsyn.BuildSweep(src, probsyn.SSE, incrB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wavelet-live", func(b *testing.B) {
+		src := incrWaveSource()
+		appendLoop(b, func() probsyn.Maintainer {
+			return mustBuildLive(b, src, probsyn.SSE, probsyn.WithWavelet())
+		}, 16)
+	})
+	b.Run("wavelet-rebuild", func(b *testing.B) {
+		src := incrWaveSource()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := probsyn.BuildSweep(src, probsyn.SSE, incrB, probsyn.WithWavelet()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -7,7 +7,7 @@
 //
 //	experiments [flags] fig2a|fig2b|fig2c|fig2d|fig2e|fig2f|
 //	                    fig3a|fig3b|fig4a|fig4b|wavelet-dp|frontier|
-//	                    ablate-straddle|ablate-approx|all
+//	                    incremental|ablate-straddle|ablate-approx|all
 //
 // The frontier mode emits Figure-4-style cost-vs-budget curves built the
 // cheap way — one DP run per family serves every budget (see
@@ -106,12 +106,13 @@ func main() {
 		"fig4b":           fig4b,
 		"wavelet-dp":      waveletDP,
 		"frontier":        frontier,
+		"incremental":     incremental,
 		"ablate-straddle": ablateStraddle,
 		"ablate-approx":   ablateApprox,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f",
-			"fig3a", "fig3b", "fig4a", "fig4b", "wavelet-dp", "frontier", "ablate-straddle", "ablate-approx"} {
+			"fig3a", "fig3b", "fig4a", "fig4b", "wavelet-dp", "frontier", "incremental", "ablate-straddle", "ablate-approx"} {
 			runners[name]()
 			fmt.Println()
 		}
@@ -360,6 +361,43 @@ func frontier() {
 		check(err)
 		check(os.WriteFile(*flagFrontier, append(blob, '\n'), 0o644))
 		fmt.Printf("# frontier: wrote JSON series to %s\n", *flagFrontier)
+	}
+}
+
+// incremental measures what live maintenance buys: the average cost of
+// one Append/Update absorbed by retained DP state versus a from-scratch
+// budget sweep over the same final data, for both synopsis families. The
+// domain starts shy of the next power of two so the wavelet appends stay
+// inside the padding (appends that outgrow it rebuild, by design);
+// histogram updates land near the tail, restricted-wavelet updates are
+// mean-preserving corrections — the workloads the incremental paths are
+// built for (see DESIGN.md "Incremental maintenance" for the cost model
+// away from them).
+func incremental() {
+	n := 960 // pads to 1024 with room for the appends
+	if *flagFull {
+		n = 4032
+	}
+	rng := rand.New(rand.NewSource(*flagSeed))
+	src := gen.SensorGrid(rng, gen.DefaultSensor(n))
+	exp := &eval.IncrementalExperiment{
+		Source:    src,
+		Metric:    metric.SAE,
+		Params:    metric.Params{C: 0.5},
+		B:         32,
+		Batch:     4,
+		Mutations: 8,
+		Pool:      pool(),
+	}
+	start := time.Now()
+	points, err := exp.Run()
+	check(err)
+	fmt.Printf("# incremental: live maintenance vs from-scratch sweeps; n=%d, B=32, batch=4, workers=%d, %v\n",
+		n, workers(), time.Since(start).Round(time.Millisecond))
+	fmt.Println("family,op,mutations,incremental_seconds,rebuild_seconds,speedup")
+	for _, pt := range points {
+		fmt.Printf("%s,%s,%d,%.6f,%.6f,%.1f\n",
+			pt.Family, pt.Op, pt.Mutations, pt.IncrementalSeconds, pt.RebuildSeconds, pt.Speedup)
 	}
 }
 

@@ -18,9 +18,19 @@
 // psynd:
 //
 //	psyn -input data.pd -metric SSE -buckets 32 -sweep -out ./catalog
+//
+// With -append, the items of a second (value-model) dataset file extend
+// the -input dataset, and every key-encoded synopsis for that dataset in
+// the -out catalog directory is revalidated through a live frontier
+// (probsyn.BuildLive) and rewritten — each file byte-identical to a
+// from-scratch build over the merged data, and -save-data persists the
+// merged dataset itself:
+//
+//	psyn -input data.pd -append more.pd -dataset ds -out ./catalog -save-data data.pd
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -65,7 +75,9 @@ func run(args []string, stdout io.Writer) error {
 		flagOut      = fs.String("out", "", "save the built synopsis to this file (.json: JSON envelope, otherwise binary); with -sweep, a directory receiving one catalog file per budget")
 		flagIn       = fs.String("in", "", "load a saved synopsis instead of building one")
 		flagSweep    = fs.Bool("sweep", false, "build the whole budget frontier (every budget up to -buckets/-coeffs) from one DP run and print budget,terms,cost CSV")
-		flagDataset  = fs.String("dataset", "", "dataset name used in -sweep catalog filenames (default: the -input file stem)")
+		flagDataset  = fs.String("dataset", "", "dataset name used in -sweep/-append catalog filenames (default: the -input file stem)")
+		flagAppend   = fs.String("append", "", "value-model dataset file whose items extend the -input dataset; every synopsis for -dataset in the -out catalog directory is revalidated and rewritten")
+		flagSaveData = fs.String("save-data", "", "with -append: write the merged dataset to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -103,6 +115,14 @@ func run(args []string, stdout io.Writer) error {
 		opts = append(opts, probsyn.WithUnrestricted(*flagQuant))
 	}
 
+	if *flagAppend != "" {
+		dataset := *flagDataset
+		if dataset == "" {
+			dataset = strings.TrimSuffix(filepath.Base(*flagInput), filepath.Ext(*flagInput))
+		}
+		return runAppend(stdout, src, *flagAppend, dataset, *flagOut, *flagSaveData, *flagParallel)
+	}
+
 	if *flagSweep {
 		if *flagEqui || *flagApprox > 0 {
 			return fmt.Errorf("-sweep needs the exact DP (drop -equidepth/-approx)")
@@ -130,6 +150,112 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *flagOut != "" {
 		return saveSynopsis(stdout, *flagOut, syn)
+	}
+	return nil
+}
+
+// runAppend extends a value-model dataset with the items of a second
+// dataset file and revalidates every key-encoded synopsis for the
+// dataset in the catalog directory: one live frontier per
+// (family, metric, c) group absorbs the append, and each cataloged
+// budget is rewritten atomically — the offline twin of a psynd
+// POST /v1/append, producing byte-identical files.
+func runAppend(stdout io.Writer, src probsyn.Source, appendPath, dataset, outDir, saveData string, parallelism int) error {
+	base, ok := src.(*probsyn.ValuePDF)
+	if !ok {
+		return fmt.Errorf("-append is defined over the value-pdf model; -input is another model")
+	}
+	af, err := os.Open(appendPath)
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	asrc, err := probsyn.ReadDataset(af)
+	if err != nil {
+		return err
+	}
+	avp, ok := asrc.(*probsyn.ValuePDF)
+	if !ok {
+		return fmt.Errorf("-append file must be a value-model dataset")
+	}
+	if outDir == "" {
+		return fmt.Errorf("-append needs -out pointing at a saved catalog directory")
+	}
+	des, err := os.ReadDir(outDir)
+	if err != nil {
+		return err
+	}
+	// Collect the dataset's catalog files; directory order is
+	// lexicographic, so the shared grouping (one live frontier per
+	// family/metric/c — the same unit psynd's mutation path revalidates)
+	// is deterministic.
+	var keys []catalog.Key
+	for _, de := range des {
+		key, err := catalog.ParseFilename(de.Name())
+		if err != nil || key.Dataset != dataset {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("no catalog files for dataset %q in %s", dataset, outDir)
+	}
+	oldN := base.Domain()
+	fmt.Fprintf(stdout, "appending %d items to %s (domain %d -> %d)\n", avp.N, dataset, oldN, oldN+avp.N)
+	written := 0
+	for _, group := range catalog.GroupKeys(keys) {
+		gmax := 0
+		for _, k := range group {
+			if k.Budget > gmax {
+				gmax = k.Budget
+			}
+		}
+		m, err := probsyn.ParseMetric(group[0].Metric)
+		if err != nil {
+			return err
+		}
+		opts := []probsyn.BuildOption{
+			probsyn.WithParams(probsyn.Params{C: group[0].C}),
+			probsyn.WithParallelism(parallelism),
+		}
+		if group[0].Family == catalog.FamilyWavelet {
+			opts = append(opts, probsyn.WithWavelet())
+		}
+		live, err := probsyn.BuildLive(base, m, gmax, opts...)
+		if err != nil {
+			return err
+		}
+		if err := live.Append(avp.Items); err != nil {
+			return err
+		}
+		for _, key := range group {
+			syn, err := catalog.ExtractBudget(live, key.Budget)
+			if err != nil {
+				return err
+			}
+			if _, err := catalog.WriteFile(filepath.Join(outDir, key.Filename()), syn); err != nil {
+				return err
+			}
+			written++
+		}
+	}
+	fmt.Fprintf(stdout, "revalidated %d synopses in %s\n", written, outDir)
+	if saveData != "" {
+		merged := base.Clone()
+		for i := range avp.Items {
+			merged.Items = append(merged.Items, avp.Items[i].Clone())
+		}
+		merged.N = len(merged.Items)
+		var buf bytes.Buffer
+		if err := probsyn.WriteDataset(&buf, merged); err != nil {
+			return err
+		}
+		// Atomic (temp + rename) through the catalog layer's shared write
+		// path — the same discipline psynd uses for its dataset rewrites.
+		if err := catalog.WriteBlob(saveData, buf.Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "saved merged dataset to %s\n", saveData)
 	}
 	return nil
 }

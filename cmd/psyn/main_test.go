@@ -243,3 +243,135 @@ func TestRunQuantize(t *testing.T) {
 		t.Fatalf("unexpected output:\n%s", out.String())
 	}
 }
+
+// writeValueDataset materializes a small value-model dataset (the model
+// live maintenance is defined over).
+func writeValueDataset(t *testing.T, dir, name string, n int) (string, *probsyn.ValuePDF) {
+	t.Helper()
+	vp := &probsyn.ValuePDF{N: n, Items: make([]probsyn.ItemPDF, n)}
+	for i := 0; i < n; i++ {
+		vp.Items[i] = probsyn.ItemPDF{Entries: []probsyn.FreqProb{
+			{Freq: float64(i % 4), Prob: 0.5},
+			{Freq: float64(1 + i%2), Prob: 0.25},
+		}}
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probsyn.WriteDataset(f, vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, vp
+}
+
+// TestRunAppend: sweep a catalog, append a batch through the CLI, and
+// assert every catalog file now matches a from-scratch sweep over the
+// merged dataset byte for byte — plus the -save-data round trip.
+func TestRunAppend(t *testing.T) {
+	dir := t.TempDir()
+	basePath, base := writeValueDataset(t, dir, "vds.pd", 20)
+	morePath, more := writeValueDataset(t, dir, "more.pd", 3)
+	outDir := filepath.Join(dir, "catalog")
+
+	var out bytes.Buffer
+	if err := run([]string{"-input", basePath, "-sweep", "-dataset", "vds", "-metric", "SSE", "-buckets", "4", "-out", outDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", basePath, "-sweep", "-dataset", "vds", "-wavelet", "-metric", "SAE", "-coeffs", "3", "-out", outDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := filepath.Join(dir, "merged.pd")
+	out.Reset()
+	if err := run([]string{"-input", basePath, "-append", morePath, "-dataset", "vds", "-out", outDir, "-save-data", merged}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "revalidated 7 synopses") {
+		t.Fatalf("append output:\n%s", out.String())
+	}
+
+	// The rewritten catalog must equal a fresh sweep over the merged data.
+	want := &probsyn.ValuePDF{N: base.N + more.N, Items: append(append([]probsyn.ItemPDF(nil), base.Items...), more.Items...)}
+	freshDir := filepath.Join(dir, "fresh")
+	mergedPath := filepath.Join(dir, "want.pd")
+	f, err := os.Create(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probsyn.WriteDataset(f, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", mergedPath, "-sweep", "-dataset", "vds", "-metric", "SSE", "-buckets", "4", "-out", freshDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", mergedPath, "-sweep", "-dataset", "vds", "-wavelet", "-metric", "SAE", "-coeffs", "3", "-out", freshDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(freshDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, de := range des {
+		fresh, err := os.ReadFile(filepath.Join(freshDir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := os.ReadFile(filepath.Join(outDir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(live, fresh) {
+			t.Fatalf("%s: appended catalog differs from fresh sweep over merged data", de.Name())
+		}
+		checked++
+	}
+	if checked != 7 {
+		t.Fatalf("checked %d files, want 7", checked)
+	}
+
+	// -save-data round trip.
+	mf, err := os.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	msrc, err := probsyn.ReadDataset(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msrc.Domain() != base.N+more.N {
+		t.Fatalf("merged domain %d, want %d", msrc.Domain(), base.N+more.N)
+	}
+}
+
+// TestRunAppendValidation: -append needs a catalog dir with files for
+// the dataset and a value-model input.
+func TestRunAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	basePath, _ := writeValueDataset(t, dir, "vds.pd", 8)
+	morePath, _ := writeValueDataset(t, dir, "more.pd", 2)
+	var out bytes.Buffer
+	if err := run([]string{"-input", basePath, "-append", morePath}, &out); err == nil {
+		t.Fatal("-append without -out accepted")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", basePath, "-append", morePath, "-out", empty}, &out); err == nil {
+		t.Fatal("-append against an empty catalog accepted")
+	}
+	basicPath, _ := writeDataset(t, dir)
+	if err := run([]string{"-input", basicPath, "-append", morePath, "-out", empty}, &out); err == nil {
+		t.Fatal("-append over a basic-model input accepted")
+	}
+}

@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		flagMax      = fs.Int("max-builds", 2, "admission cap: builds running DPs concurrently on the shared pool (<= 0: unlimited)")
 		flagParallel = fs.Int("parallelism", 0, "engine worker goroutines per build DP (<= 0: one per CPU)")
 		flagC        = fs.Float64("c", 0.5, "sanity constant for relative-error metrics")
+		flagMaxLive  = fs.Int("max-live", server.DefaultMaxLiveStates, "retained live frontiers (DP state for incremental /v1/append|/v1/update); least-recently-mutated evicted beyond this")
 		flagDrain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining queued builds")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,13 +100,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "psynd: loaded %d synopses from %s\n", n, *flagCatalog)
 	}
 	srv, err := server.New(server.Config{
-		DataDir:      *flagData,
-		CatalogDir:   *flagCatalog,
-		Catalog:      cat,
-		Pool:         pool,
-		QueueDepth:   *flagQueue,
-		BuildWorkers: *flagBuilders,
-		C:            *flagC,
+		DataDir:       *flagData,
+		CatalogDir:    *flagCatalog,
+		Catalog:       cat,
+		Pool:          pool,
+		QueueDepth:    *flagQueue,
+		BuildWorkers:  *flagBuilders,
+		C:             *flagC,
+		MaxLiveStates: *flagMaxLive,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, "psynd: "+format+"\n", args...)
 		},

@@ -189,6 +189,16 @@ func (c *Catalog) PutEncoded(key Key, syn synopsis.Synopsis, blob []byte) *Entry
 	return e
 }
 
+// Delete removes the key's entry, if present. The serving layer uses it
+// to withdraw entries it can no longer vouch for (a mutation that failed
+// after its dataset was persisted): a not_found answer that triggers a
+// rebuild over the current data beats silently serving a stale synopsis.
+func (c *Catalog) Delete(key Key) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
 // Get returns the entry for the key, if present.
 func (c *Catalog) Get(key Key) (*Entry, bool) {
 	c.mu.RLock()
@@ -343,6 +353,41 @@ func familyOf(s synopsis.Synopsis) string {
 		return ""
 	}
 	return name
+}
+
+// GroupKeys partitions keys (typically one dataset's catalog listing)
+// into per-frontier groups — equal (Dataset, Family, Metric, C) — in
+// first-appearance order, keys keeping their input order within each
+// group. Every budget in one group is served by one retained frontier,
+// so this grouping is the unit of live revalidation: the server's
+// mutation path and psyn -append share it rather than each re-deriving
+// what "one frontier's worth of keys" means.
+func GroupKeys(keys []Key) [][]Key {
+	idx := make(map[Key]int, len(keys))
+	var groups [][]Key
+	for _, k := range keys {
+		gk := k
+		gk.Budget = 0
+		g, ok := idx[gk]
+		if !ok {
+			g = len(groups)
+			idx[gk] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], k)
+	}
+	return groups
+}
+
+// ExtractBudget extracts the budget-b synopsis from a frontier, with
+// over-domain budgets clamped to the frontier's Bmax — the
+// repeat-the-clamped-max behavior every publisher (server sweeps and
+// mutations, offline revalidation) shares with single builds.
+func ExtractBudget(fr synopsis.Frontier, b int) (synopsis.Synopsis, error) {
+	if bm := fr.Bmax(); b > bm {
+		b = bm
+	}
+	return fr.Synopsis(b)
 }
 
 // WriteFile serializes a synopsis to path through the versioned codec:

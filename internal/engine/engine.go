@@ -205,14 +205,21 @@ func (p *Pool) Dispatch(lo, hi, work int, fn func(w, clo, chi int)) {
 // into DynamicChunkFactor-times finer chunks and the pool's workers pull
 // chunk indices off a shared atomic cursor, so ragged per-chunk costs
 // (per-node state-count skew in the unrestricted wavelet DP's levels) do
-// not leave workers idle behind one slow even split. The determinism
-// contract is unchanged — chunks are the same contiguous sub-ranges
-// regardless of which worker runs them, each element is processed in
-// serial order within its chunk, and fn must only write state derived
-// from its own chunk index or range — so results stay bit-identical to
-// MapChunks at every worker count. Chunk indices w are dense in
-// [0, parts) with parts > Workers(); clients sizing per-chunk slot
-// arrays by chunk index must use static MapChunks instead.
+// not leave workers idle behind one slow even split. Even slicing
+// (MapChunks) divides the INDEX range equally, but the work behind equal
+// index spans can differ by the product of branch factors along a path —
+// the slowest chunk then bounds the level's wall time while every other
+// worker idles; stealing bounds that tail at one fine chunk instead.
+//
+// The determinism contract is unchanged — chunks are the same contiguous
+// sub-ranges regardless of which worker runs them, each element is
+// processed in serial order within its chunk, and fn must only write
+// state derived from its own chunk index or range (slot ownership: the
+// cursor hands each chunk to exactly one worker, and result slots are
+// functions of the range, not of worker identity) — so results stay
+// bit-identical to MapChunks at every worker count. Chunk indices w are
+// dense in [0, parts) with parts > Workers(); clients sizing per-chunk
+// slot arrays by chunk index must use static MapChunks instead.
 func (p *Pool) MapChunksDynamic(lo, hi, work int, fn func(w, clo, chi int)) {
 	if p.Chunks(work) == 1 {
 		fn(0, lo, hi)

@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"probsyn/internal/gen"
+	"probsyn/internal/metric"
+)
+
+// TestIncrementalExperiment smoke-runs the incremental harness at a toy
+// size: every family × op must produce a point with positive timings.
+func TestIncrementalExperiment(t *testing.T) {
+	src := gen.SensorGrid(rand.New(rand.NewSource(1)), gen.DefaultSensor(56))
+	exp := &IncrementalExperiment{
+		Source: src, Metric: metric.SAE, Params: metric.Params{C: 0.5},
+		B: 4, Batch: 2, Mutations: 2,
+	}
+	points, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("%d points, want 6", len(points))
+	}
+	seen := map[string]bool{}
+	for _, pt := range points {
+		seen[pt.Family+"/"+pt.Op] = true
+		if pt.IncrementalSeconds <= 0 || pt.RebuildSeconds <= 0 {
+			t.Fatalf("%s/%s: non-positive timings %+v", pt.Family, pt.Op, pt)
+		}
+	}
+	for _, want := range []string{"histogram/append", "histogram/update", "wavelet-sse/append", "wavelet-sse/update", "wavelet-restricted/append", "wavelet-restricted/update"} {
+		if !seen[want] {
+			t.Fatalf("missing point %s", want)
+		}
+	}
+	if _, err := (&IncrementalExperiment{Source: src}).Run(); err == nil {
+		t.Fatal("B=0 accepted")
+	}
+}

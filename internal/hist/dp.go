@@ -84,9 +84,6 @@ func RunDPPool(o Oracle, Bmax int, pool *engine.Pool) (*DPTable, error) {
 	if Bmax > n {
 		Bmax = n
 	}
-	if pool == nil {
-		pool = engine.Serial()
-	}
 	t := &DPTable{oracle: o, n: n, bmax: Bmax}
 
 	// opt[b][j]: optimal error of a (b+1)-bucket histogram over prefix
@@ -97,6 +94,22 @@ func RunDPPool(o Oracle, Bmax int, pool *engine.Pool) (*DPTable, error) {
 		t.opt[b] = make([]float64, n)
 		t.choice[b] = make([]int32, n)
 	}
+	t.runColumns(0, pool)
+	return t, nil
+}
+
+// runColumns executes the DP for ends e in [from, t.n), reading (and for
+// e >= from, writing) the table's opt/choice rows. Column e depends only
+// on bucket costs within [0, e] and on opt values at ends < e, so a
+// resumed run over a suffix of ends produces exactly the entries a full
+// run over the same oracle would — the incremental-maintenance path
+// (DPTable.resume) relies on this, and the live property tests verify it
+// byte-for-byte through the codec.
+func (t *DPTable) runColumns(from int, pool *engine.Pool) {
+	if pool == nil {
+		pool = engine.Serial()
+	}
+	o, n, Bmax := t.oracle, t.n, t.bmax
 	costs := make([]float64, n)
 	reps := make([]float64, n)
 	sweeper, hasSweep := o.(SweepOracle)
@@ -106,7 +119,7 @@ func RunDPPool(o Oracle, Bmax int, pool *engine.Pool) (*DPTable, error) {
 	// the current end; reused across ends.
 	partials := make([]engine.MinPartial, (Bmax-1)*pool.Workers())
 
-	for e := 0; e < n; e++ {
+	for e := from; e < n; e++ {
 		if hasSweep {
 			sweeper.CostsForEnd(e, costs, reps)
 		} else {
@@ -156,7 +169,61 @@ func RunDPPool(o Oracle, Bmax int, pool *engine.Pool) (*DPTable, error) {
 			}
 		}
 	}
-	return t, nil
+}
+
+// resume re-anchors the table on a new oracle over a same-or-larger
+// domain and recomputes only the columns a mutation could have changed:
+// everything from `from` rightward. breq is the budget the table was
+// originally requested at — the effective Bmax re-clamps against the new
+// domain, and if that changes the budget-level count, every column is
+// recomputed (old levels would be missing or stale).
+//
+// Correctness requires the caller to guarantee that bucket costs wholly
+// left of `from` are unchanged under the new oracle — true when the
+// oracle is rebuilt from the same data with only items >= from mutated
+// (prefix structures agree bit-for-bit left of the first change; oracles
+// whose global value grid changed still price untouched buckets
+// identically, because added grid points carry zero mass there).
+func (t *DPTable) resume(o Oracle, from, breq int, pool *engine.Pool) error {
+	n := o.N()
+	if n < t.n {
+		return fmt.Errorf("hist: resume cannot shrink the domain (%d -> %d)", t.n, n)
+	}
+	if from < 0 || from > t.n {
+		return fmt.Errorf("hist: resume start %d outside [0, %d]", from, t.n)
+	}
+	if breq <= 0 {
+		return fmt.Errorf("hist: bucket budget %d, want >= 1", breq)
+	}
+	bmax := breq
+	if bmax > n {
+		bmax = n
+	}
+	if bmax != t.bmax {
+		from = 0 // budget levels appear (or vanish): no column survives
+	}
+	if bmax < t.bmax {
+		t.opt = t.opt[:bmax]
+		t.choice = t.choice[:bmax]
+	}
+	for b := t.bmax; b < bmax; b++ {
+		t.opt = append(t.opt, make([]float64, n))
+		t.choice = append(t.choice, make([]int32, n))
+	}
+	if n > t.n {
+		for b := 0; b < len(t.opt); b++ {
+			if len(t.opt[b]) < n {
+				opt := make([]float64, n)
+				copy(opt, t.opt[b])
+				choice := make([]int32, n)
+				copy(choice, t.choice[b])
+				t.opt[b], t.choice[b] = opt, choice
+			}
+		}
+	}
+	t.oracle, t.n, t.bmax = o, n, bmax
+	t.runColumns(from, pool)
+	return nil
 }
 
 // reduceSplits scans split points i in [from, to), pricing prev[i] extended

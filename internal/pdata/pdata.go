@@ -357,11 +357,54 @@ func (ip *ItemPDF) MeanSq() float64 {
 	return s
 }
 
+// Validate checks one item pdf in isolation: probability ranges,
+// non-negative frequencies, and total mass at most 1. It is the per-item
+// slice of ValuePDF.Validate, for callers admitting item mutations (live
+// synopsis maintenance, the serving layer's append/update ingest) that
+// must reject a bad pdf before touching any retained state.
+func (ip *ItemPDF) Validate() error {
+	total := 0.0
+	for _, e := range ip.Entries {
+		if e.Prob < -probTol || e.Prob > 1+probTol {
+			return fmt.Errorf("pdata: item pdf: probability %v outside [0,1]", e.Prob)
+		}
+		if e.Freq < 0 {
+			return fmt.Errorf("pdata: item pdf: negative frequency %v", e.Freq)
+		}
+		total += e.Prob
+	}
+	if total > 1+probTol {
+		return fmt.Errorf("pdata: item pdf: probabilities sum to %v > 1", total)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the item pdf, so a caller retaining it
+// (live maintenance state) is insulated from later mutation of the
+// argument's entry slice.
+func (ip ItemPDF) Clone() ItemPDF {
+	if ip.Entries == nil {
+		return ItemPDF{}
+	}
+	return ItemPDF{Entries: append([]FreqProb(nil), ip.Entries...)}
+}
+
 // ValuePDF is a probabilistic relation in the value pdf model: one ItemPDF
 // per domain item, items mutually independent.
 type ValuePDF struct {
 	N     int
 	Items []ItemPDF // len N; a missing/empty ItemPDF means g_i = 0 surely
+}
+
+// Clone returns a deep copy of the value pdf. Live synopsis maintenance
+// clones its input so the retained, mutable copy cannot alias (or be
+// aliased by) the caller's data.
+func (vp *ValuePDF) Clone() *ValuePDF {
+	out := &ValuePDF{N: vp.N, Items: make([]ItemPDF, len(vp.Items))}
+	for i := range vp.Items {
+		out.Items[i] = vp.Items[i].Clone()
+	}
+	return out
 }
 
 // Validate checks shape, frequency signs, and per-item probability mass.

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"probsyn"
+	"probsyn/internal/catalog"
+	"probsyn/internal/engine"
+	"probsyn/internal/pdata"
+)
+
+// valueDataset builds the deterministic value-pdf dataset the mutation
+// tests run against (mutations are defined over the value-pdf model).
+func valueDataset(n int) *pdata.ValuePDF {
+	vp := &pdata.ValuePDF{N: n, Items: make([]pdata.ItemPDF, n)}
+	for i := 0; i < n; i++ {
+		vp.Items[i] = pdata.ItemPDF{Entries: []pdata.FreqProb{
+			{Freq: float64(i % 5), Prob: 0.5},
+			{Freq: float64(2 + i%3), Prob: 0.25},
+		}}
+	}
+	return vp
+}
+
+// newValueFixture is newFixture over a value-model dataset.
+func newValueFixture(t *testing.T, cfg Config) (*Server, *httptest.Server, *pdata.ValuePDF) {
+	t.Helper()
+	dataDir := t.TempDir()
+	vp := valueDataset(24)
+	f, err := os.Create(filepath.Join(dataDir, "vds.pd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probsyn.WriteDataset(f, vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.DataDir = dataDir
+	if cfg.Catalog == nil {
+		cfg.Catalog = catalog.New()
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = engine.New(engine.Options{Workers: 2})
+	}
+	if cfg.CatalogDir == "" {
+		cfg.CatalogDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	return s, ts, vp
+}
+
+func postJSON(t *testing.T, url string, req any) (*http.Response, json.RawMessage) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func postMutate(t *testing.T, ts *httptest.Server, path string, req MutateRequest) (*http.Response, MutateResponse, ErrorBody) {
+	t.Helper()
+	resp, raw := postJSON(t, ts.URL+path, req)
+	var ok MutateResponse
+	var bad ErrorBody
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &ok); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := json.Unmarshal(raw, &bad); err != nil {
+		t.Fatal(err)
+	}
+	return resp, ok, bad
+}
+
+// assertCatalogMatchesOfflineRebuild re-derives every cataloged key of
+// the dataset with a fresh offline BuildSweep over `want` and compares
+// the persisted catalog files byte for byte.
+func assertCatalogMatchesOfflineRebuild(t *testing.T, catDir string, want *pdata.ValuePDF, dataset string, c float64) {
+	t.Helper()
+	des, err := os.ReadDir(catDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	sweeps := map[liveKey]probsyn.Frontier{}
+	maxBudget := map[liveKey]int{}
+	var keys []catalog.Key
+	for _, de := range des {
+		key, err := catalog.ParseFilename(de.Name())
+		if err != nil || key.Dataset != dataset {
+			continue
+		}
+		keys = append(keys, key)
+		lk := liveKey{dataset: dataset, family: key.Family, metric: key.Metric, c: key.C}
+		if key.Budget > maxBudget[lk] {
+			maxBudget[lk] = key.Budget
+		}
+	}
+	for _, key := range keys {
+		lk := liveKey{dataset: dataset, family: key.Family, metric: key.Metric, c: key.C}
+		fr, ok := sweeps[lk]
+		if !ok {
+			m, err := probsyn.ParseMetric(key.Metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := []probsyn.BuildOption{probsyn.WithParams(probsyn.Params{C: key.C})}
+			if key.Family == catalog.FamilyWavelet {
+				opts = append(opts, probsyn.WithWavelet())
+			}
+			if fr, err = probsyn.BuildSweep(want, m, maxBudget[lk], opts...); err != nil {
+				t.Fatal(err)
+			}
+			sweeps[lk] = fr
+		}
+		eb := key.Budget
+		if eb > fr.Bmax() {
+			eb = fr.Bmax()
+		}
+		syn, err := fr.Synopsis(eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlob, err := probsyn.MarshalSynopsis(syn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBlob, err := os.ReadFile(filepath.Join(catDir, key.Filename()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBlob, wantBlob) {
+			t.Fatalf("catalog file %s differs from offline rebuild over mutated data", key.Filename())
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no catalog files checked")
+	}
+}
+
+// TestAppendRevalidatesCatalog is the serving acceptance path: catalog a
+// histogram sweep and a wavelet build, append items over HTTP, and
+// verify (1) the response reports the grown domain and every cataloged
+// budget republished, (2) each persisted catalog file is byte-identical
+// to an offline rebuild over the mutated dataset, (3) the dataset file
+// itself was atomically rewritten, and (4) estimates serve the new
+// domain. A second mutation exercises the retained-live (incremental)
+// path end to end.
+func TestAppendRevalidatesCatalog(t *testing.T) {
+	catDir := t.TempDir()
+	_, ts, vp := newValueFixture(t, Config{CatalogDir: catDir, C: 0.5})
+
+	if resp, _, bad := postSweep(t, ts, BuildRequest{Dataset: "vds", Family: "histogram", Metric: "SSE", Budget: 4, Wait: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %v", resp.StatusCode, bad)
+	}
+	if resp, _, bad := postBuild(t, ts, BuildRequest{Dataset: "vds", Family: "wavelet", Metric: "SAE", Budget: 3, Wait: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wavelet build: %d %v", resp.StatusCode, bad)
+	}
+
+	newItems := []ItemPDFWire{
+		{Entries: []FreqProbWire{{Freq: 4, Prob: 0.5}}},
+		{Entries: []FreqProbWire{{Freq: 1, Prob: 0.25}, {Freq: 2, Prob: 0.25}}},
+	}
+	resp, ok, bad := postMutate(t, ts, "/v1/append", MutateRequest{Dataset: "vds", Items: newItems, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d %v", resp.StatusCode, bad)
+	}
+	if ok.Status != "applied" || ok.Domain != vp.N+2 {
+		t.Fatalf("append response: %+v", ok)
+	}
+	if ok.Republished != 5 { // 4 swept histogram budgets + 1 wavelet build
+		t.Fatalf("republished %d entries, want 5", ok.Republished)
+	}
+
+	want := vp.Clone()
+	for _, iw := range newItems {
+		want.Items = append(want.Items, iw.toPDF())
+	}
+	want.N = len(want.Items)
+	assertCatalogMatchesOfflineRebuild(t, catDir, want, "vds", 0.5)
+
+	// Estimates now serve the grown domain.
+	var est EstimateResponse
+	url := fmt.Sprintf("%s/v1/estimate?dataset=vds&family=histogram&metric=SSE&budget=4&i=%d", ts.URL, vp.N+1)
+	if resp := getJSON(t, url, &est); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate on appended item: %d", resp.StatusCode)
+	}
+
+	// Second mutation: the retained live frontier absorbs it.
+	resp, ok, bad = postMutate(t, ts, "/v1/update", MutateRequest{
+		Dataset: "vds", I: 3,
+		Item: &ItemPDFWire{Entries: []FreqProbWire{{Freq: 1, Prob: 0.25}, {Freq: 3, Prob: 0.25}}},
+		Wait: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %d %v", resp.StatusCode, bad)
+	}
+	if ok.Republished != 5 {
+		t.Fatalf("update republished %d, want 5", ok.Republished)
+	}
+	want.Items[3] = pdata.ItemPDF{Entries: []pdata.FreqProb{{Freq: 1, Prob: 0.25}, {Freq: 3, Prob: 0.25}}}
+	assertCatalogMatchesOfflineRebuild(t, catDir, want, "vds", 0.5)
+}
+
+// TestMutateDatasetFilePersisted: the on-disk dataset is atomically
+// rewritten before any republish, so a restarted server rebuilds exactly
+// what was served.
+func TestMutateDatasetFilePersisted(t *testing.T) {
+	s, ts, vp := newValueFixture(t, Config{C: 0.5})
+	item := ItemPDFWire{Entries: []FreqProbWire{{Freq: 3, Prob: 0.5}}}
+	if resp, _, bad := postMutate(t, ts, "/v1/append", MutateRequest{Dataset: "vds", Items: []ItemPDFWire{item}, Wait: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d %v", resp.StatusCode, bad)
+	}
+	f, err := os.Open(s.datasetPath("vds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src, err := probsyn.ReadDataset(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := src.(*pdata.ValuePDF)
+	if !ok {
+		t.Fatalf("persisted dataset is %T", src)
+	}
+	if got.N != vp.N+1 {
+		t.Fatalf("persisted domain %d, want %d", got.N, vp.N+1)
+	}
+	if len(got.Items[vp.N].Entries) != 1 || got.Items[vp.N].Entries[0].Freq != 3 {
+		t.Fatalf("persisted appended item: %+v", got.Items[vp.N])
+	}
+}
+
+// TestMutateValidation covers the typed-error surface of the mutation
+// endpoints.
+func TestMutateValidation(t *testing.T) {
+	_, ts, _ := newValueFixture(t, Config{C: 0.5})
+	item := &ItemPDFWire{Entries: []FreqProbWire{{Freq: 1, Prob: 0.5}}}
+
+	cases := []struct {
+		name, path string
+		req        MutateRequest
+		status     int
+		code       string
+	}{
+		{"missing dataset", "/v1/append", MutateRequest{Dataset: "nope", Items: []ItemPDFWire{*item}}, http.StatusNotFound, CodeNotFound},
+		{"empty dataset", "/v1/append", MutateRequest{Items: []ItemPDFWire{*item}}, http.StatusBadRequest, CodeBadRequest},
+		{"no items", "/v1/append", MutateRequest{Dataset: "vds"}, http.StatusBadRequest, CodeBadRequest},
+		{"bad pdf", "/v1/append", MutateRequest{Dataset: "vds", Items: []ItemPDFWire{{Entries: []FreqProbWire{{Freq: 1, Prob: 1.5}}}}}, http.StatusBadRequest, CodeBadRequest},
+		{"no item", "/v1/update", MutateRequest{Dataset: "vds", I: 0}, http.StatusBadRequest, CodeBadRequest},
+		{"negative index", "/v1/update", MutateRequest{Dataset: "vds", I: -1, Item: item}, http.StatusBadRequest, CodeBadRequest},
+		{"path escape", "/v1/append", MutateRequest{Dataset: "../x", Items: []ItemPDFWire{*item}}, http.StatusBadRequest, CodeBadRequest},
+		{"out-of-domain update", "/v1/update", MutateRequest{Dataset: "vds", I: 10000, Item: item, Wait: true}, http.StatusInternalServerError, CodeBuildFailed},
+	}
+	for _, tc := range cases {
+		resp, _, bad := postMutate(t, ts, tc.path, tc.req)
+		if resp.StatusCode != tc.status || bad.Error.Code != tc.code {
+			t.Errorf("%s: got %d/%q, want %d/%q (%s)", tc.name, resp.StatusCode, bad.Error.Code, tc.status, tc.code, bad.Error.Message)
+		}
+	}
+}
+
+// TestMutateRejectsNonValueModel: mutation of a basic-model dataset is a
+// clean 400, not a worker-side failure.
+func TestMutateRejectsNonValueModel(t *testing.T) {
+	_, ts, _ := newFixture(t, Config{C: 0.5}) // MystiQ basic-model dataset "ds"
+	item := ItemPDFWire{Entries: []FreqProbWire{{Freq: 1, Prob: 0.5}}}
+	resp, _, bad := postMutate(t, ts, "/v1/append", MutateRequest{Dataset: "ds", Items: []ItemPDFWire{item}, Wait: true})
+	if resp.StatusCode != http.StatusBadRequest || bad.Error.Code != CodeBadRequest {
+		t.Fatalf("got %d/%q, want 400/bad_request", resp.StatusCode, bad.Error.Code)
+	}
+}
+
+// TestMutationsApplyInPostOrder: mutations drain on a single goroutine,
+// so async appends land in POST order — append semantics ("item
+// Domain() gets items[0]") make that order load-bearing.
+func TestMutationsApplyInPostOrder(t *testing.T) {
+	s, ts, vp := newValueFixture(t, Config{C: 0.5, BuildWorkers: 4})
+	for k := 0; k < 3; k++ {
+		item := ItemPDFWire{Entries: []FreqProbWire{{Freq: float64(10 + k), Prob: 0.5}}}
+		wait := k == 2 // the last append synchronizes the whole sequence
+		resp, _, bad := postMutate(t, ts, "/v1/append", MutateRequest{Dataset: "vds", Items: []ItemPDFWire{item}, Wait: wait})
+		if resp.StatusCode >= 300 {
+			t.Fatalf("append %d: %d %v", k, resp.StatusCode, bad)
+		}
+	}
+	f, err := os.Open(s.datasetPath("vds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src, err := probsyn.ReadDataset(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := src.(*pdata.ValuePDF)
+	if got.N != vp.N+3 {
+		t.Fatalf("domain %d, want %d", got.N, vp.N+3)
+	}
+	for k := 0; k < 3; k++ {
+		if f := got.Items[vp.N+k].Entries[0].Freq; f != float64(10+k) {
+			t.Fatalf("appended item %d has freq %v, want %d (out-of-order apply)", k, f, 10+k)
+		}
+	}
+}
+
+// TestMutateFailureWithdrawsStaleEntries: when a mutation fails after
+// the dataset was persisted, the not-yet-republished catalog entries
+// are withdrawn — a cataloged entry would short-circuit /v1/build, so
+// withdrawal is what turns the failure into not_found + rebuild instead
+// of silently stale estimates.
+func TestMutateFailureWithdrawsStaleEntries(t *testing.T) {
+	dir := t.TempDir()
+	// CatalogDir is a FILE: dataset persistence (DataDir) succeeds, but
+	// republish's WriteBlob into it must fail.
+	notADir := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts, vp := newValueFixture(t, Config{C: 0.5, CatalogDir: notADir})
+
+	// Seed the in-memory catalog directly (persistence is broken by
+	// construction, so we cannot build through the API).
+	syn, err := probsyn.Build(vp, probsyn.SSE, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := probsyn.MarshalSynopsis(syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := catalog.NewKey("vds", catalog.FamilyHistogram, "SSE", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := s.cfg.Catalog
+	cat.PutEncoded(key, syn, blob)
+
+	item := ItemPDFWire{Entries: []FreqProbWire{{Freq: 2, Prob: 0.5}}}
+	resp, _, bad := postMutate(t, ts, "/v1/append", MutateRequest{Dataset: "vds", Items: []ItemPDFWire{item}, Wait: true})
+	if resp.StatusCode != http.StatusInternalServerError || bad.Error.Code != CodeBuildFailed {
+		t.Fatalf("got %d/%q, want 500/build_failed", resp.StatusCode, bad.Error.Code)
+	}
+	if !strings.Contains(bad.Error.Message, "withdrew 1 stale catalog entries") {
+		t.Fatalf("error message does not report the withdrawal: %s", bad.Error.Message)
+	}
+	if _, ok := cat.Get(key); ok {
+		t.Fatal("stale catalog entry survived a failed mutation")
+	}
+	// And the served surface agrees: the key is gone, not stale.
+	var eb ErrorBody
+	url := ts.URL + "/v1/estimate?dataset=vds&family=histogram&metric=SSE&budget=3&i=1"
+	if resp := getJSON(t, url, &eb); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("estimate after failed mutation: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLiveStateEviction: the retained live frontiers are bounded; the
+// least-recently-mutated one is evicted and a later mutation of its
+// dataset simply rebuilds from the persisted source.
+func TestLiveStateEviction(t *testing.T) {
+	s, ts, _ := newValueFixture(t, Config{C: 0.5, MaxLiveStates: 1})
+	if resp, _, bad := postSweep(t, ts, BuildRequest{Dataset: "vds", Family: "histogram", Metric: "SSE", Budget: 2, Wait: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %v", resp.StatusCode, bad)
+	}
+	if resp, _, bad := postBuild(t, ts, BuildRequest{Dataset: "vds", Family: "wavelet", Metric: "SSE", Budget: 2, Wait: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: %d %v", resp.StatusCode, bad)
+	}
+	item := ItemPDFWire{Entries: []FreqProbWire{{Freq: 1, Prob: 0.5}}}
+	// Two frontier groups (histogram + wavelet) under a cap of one: each
+	// mutation rebuilds at least one, the catalog still revalidates fully.
+	for k := 0; k < 2; k++ {
+		resp, ok, bad := postMutate(t, ts, "/v1/append", MutateRequest{Dataset: "vds", Items: []ItemPDFWire{item}, Wait: true})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append %d: %d %v", k, resp.StatusCode, bad)
+		}
+		if ok.Republished != 3 {
+			t.Fatalf("append %d republished %d, want 3", k, ok.Republished)
+		}
+	}
+	s.livesMu.Lock()
+	n := len(s.lives)
+	s.livesMu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d retained live states, want 1 (cap)", n)
+	}
+}

@@ -19,17 +19,35 @@
 //	                   under one admission token builds and catalogs the
 //	                   synopsis for every budget 1..budget, each
 //	                   byte-identical to a single build of that budget.
+//	POST /v1/append    {dataset, items, wait?} — enqueue a dataset
+//	                   mutation: the items extend the (value-pdf)
+//	                   dataset, and every cataloged budget of every key
+//	                   of that dataset is revalidated incrementally from
+//	                   retained live DP state and atomically republished
+//	                   (dataset persisted first, then each budget
+//	                   persist-before-publish).
+//	POST /v1/update    {dataset, i, item, wait?} — same, replacing item
+//	                   i's frequency pdf in place.
 //	GET  /v1/estimate  ?dataset=&family=&metric=&budget=&i=     — point
 //	                   estimate from the catalog.
 //	GET  /v1/rangesum  ?dataset=&family=&metric=&budget=&lo=&hi= — range
 //	                   estimate from the catalog.
 //	GET  /v1/synopses  — list catalog entries.
 //
+// Mutations are serialized per dataset (builds of a dataset share a read
+// lock, mutations take the write lock), so a build admitted before an
+// append can never overwrite the republished catalog with a stale
+// synopsis, and two mutations cannot interleave their live-state
+// updates. Because live maintenance and from-scratch builds are
+// bit-identical by construction, a republished entry is byte-for-byte
+// what a fresh build over the mutated dataset would persist.
+//
 // Errors are typed: {"error": {"code", "message"}} with codes
 // bad_request, not_found, queue_full, build_failed, shutting_down.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -44,6 +62,7 @@ import (
 	"probsyn"
 	"probsyn/internal/catalog"
 	"probsyn/internal/engine"
+	"probsyn/internal/pdata"
 )
 
 // Config assembles a Server. Catalog and Pool are shared, process-wide
@@ -71,6 +90,12 @@ type Config struct {
 	BuildWorkers int
 	// C is the sanity constant handed to relative-error metric builds.
 	C float64
+	// MaxLiveStates caps how many live frontiers (retained DP state for
+	// incremental mutation maintenance) the server keeps; <= 0 means
+	// DefaultMaxLiveStates. Beyond the cap the least-recently-mutated
+	// frontier is dropped — a later mutation of its dataset rebuilds it
+	// from the persisted source, trading one build for bounded memory.
+	MaxLiveStates int
 	// Logf, when non-nil, receives operational log lines (failed builds
 	// especially — an async wait:false build has no response to carry
 	// its error, so the log is where it surfaces). Nil means the
@@ -80,14 +105,23 @@ type Config struct {
 
 // Queue and worker defaults for the zero Config.
 const (
-	DefaultQueueDepth   = 64
-	DefaultBuildWorkers = 2
+	DefaultQueueDepth    = 64
+	DefaultBuildWorkers  = 2
+	DefaultMaxLiveStates = 32
 )
 
 // Server owns the build queue and the HTTP handlers.
 type Server struct {
 	cfg   Config
 	queue chan *buildJob
+
+	// mutQueue carries dataset mutations, drained by exactly ONE
+	// goroutine: appends are order-sensitive ("item Domain() gets
+	// items[0]"), and a shared multi-worker queue would let two workers
+	// race on the per-dataset write lock and apply queued mutations out
+	// of POST order. One drainer preserves FIFO; builds keep their own
+	// multi-worker queue.
+	mutQueue chan *buildJob
 
 	// closing gates enqueues: Shutdown takes the write lock to set
 	// closed and close the queue, enqueues hold the read lock — so no
@@ -105,9 +139,28 @@ type Server struct {
 	// client polling for completion) attaches to the in-flight job
 	// instead of multiplying expensive duplicate DPs. Sweeps dedupe
 	// separately from single builds of the same key — a plain build in
-	// flight does not produce the sweep's lower budgets.
+	// flight does not produce the sweep's lower budgets. Mutations are
+	// never deduped (each one is distinct work) but coalesce with
+	// in-flight builds through the catalog: a queued build whose key a
+	// mutation already republished finds the entry and skips its DP.
 	pendingMu sync.Mutex
 	pending   map[jobKey]*buildJob
+
+	// Per-dataset coherence locks: builds hold the read side, mutations
+	// the write side, so a stale pre-mutation build can never land after
+	// a mutation's republish.
+	dlMu    sync.Mutex
+	dsLocks map[string]*sync.RWMutex
+
+	// lives retains the per-(dataset, family, metric, c) maintainable
+	// frontiers mutations revalidate incrementally, bounded at
+	// cfg.MaxLiveStates with least-recently-mutated eviction. breq is
+	// the budget the live state was requested at: a catalog that has
+	// since gained higher budgets forces a rebuild at the larger
+	// request.
+	livesMu   sync.Mutex
+	lives     map[liveKey]*liveState
+	liveClock int64
 }
 
 // jobKey identifies a deduplicatable unit of build work.
@@ -116,13 +169,51 @@ type jobKey struct {
 	sweep bool
 }
 
-// buildJob is one queued build (or budget sweep); err is valid once done
-// is closed.
+// liveKey identifies one maintainable frontier: every cataloged budget
+// of the tuple shares one retained DP state.
+type liveKey struct {
+	dataset, family, metric string
+	c                       float64
+}
+
+// liveState is a retained live frontier plus the budget it was requested
+// at (Bmax() may be smaller — domain clamping) and its LRU stamp.
+type liveState struct {
+	m     probsyn.Maintainer
+	breq  int
+	stamp int64
+}
+
+// jobKind discriminates queued work.
+type jobKind int
+
+const (
+	jobBuild jobKind = iota
+	jobSweep
+	jobMutate
+)
+
+// buildJob is one queued build, budget sweep, or dataset mutation; err
+// (and the mutation results) are valid once done is closed.
 type buildJob struct {
-	key   catalog.Key
-	sweep bool
-	done  chan struct{}
-	err   error
+	kind jobKind
+	key  catalog.Key // build/sweep
+	mut  *mutation   // mutate
+	done chan struct{}
+	err  error
+
+	// mutation results, reported on wait:true responses.
+	domain      int
+	republished int
+}
+
+// mutation is one parsed dataset mutation: an append batch, or an
+// in-place item update when update is non-nil.
+type mutation struct {
+	dataset string
+	items   []pdata.ItemPDF // append batch
+	updateI int
+	update  *pdata.ItemPDF
 }
 
 // New validates the config and returns a server with its queue workers
@@ -143,39 +234,82 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BuildWorkers <= 0 {
 		cfg.BuildWorkers = DefaultBuildWorkers
 	}
+	if cfg.MaxLiveStates <= 0 {
+		cfg.MaxLiveStates = DefaultMaxLiveStates
+	}
 	s := &Server{
 		cfg:      cfg,
 		queue:    make(chan *buildJob, cfg.QueueDepth),
+		mutQueue: make(chan *buildJob, cfg.QueueDepth),
 		datasets: make(map[string]probsyn.Source),
 		pending:  make(map[jobKey]*buildJob),
+		dsLocks:  make(map[string]*sync.RWMutex),
+		lives:    make(map[liveKey]*liveState),
 	}
 	for w := 0; w < cfg.BuildWorkers; w++ {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
 			for job := range s.queue {
-				if job.sweep {
-					job.err = s.buildSweep(job.key)
-				} else {
-					job.err = s.build(job.key)
-				}
-				if job.err != nil {
-					// Surface every failure here: an async (wait:false)
-					// client has no response carrying the error.
-					s.logf("build %s failed: %v", job.key, job.err)
-				}
-				// Unregister before completing: a request arriving after
-				// the delete sees the catalog entry (success) or starts a
-				// fresh job (failure); one arriving before it waits on
-				// done and reads err.
-				s.pendingMu.Lock()
-				delete(s.pending, jobKey{job.key, job.sweep})
-				s.pendingMu.Unlock()
-				close(job.done)
+				s.runJob(job)
 			}
 		}()
 	}
+	// The single mutation drainer (see the mutQueue field comment).
+	s.workers.Add(1)
+	go func() {
+		defer s.workers.Done()
+		for job := range s.mutQueue {
+			s.runJob(job)
+		}
+	}()
 	return s, nil
+}
+
+// runJob executes one queued job and completes it.
+func (s *Server) runJob(job *buildJob) {
+	switch job.kind {
+	case jobSweep:
+		job.err = s.buildSweep(job.key)
+	case jobMutate:
+		job.domain, job.republished, job.err = s.mutate(job.mut)
+	default:
+		job.err = s.build(job.key)
+	}
+	if job.err != nil {
+		// Surface every failure here: an async (wait:false) client has
+		// no response carrying the error.
+		if job.kind == jobMutate {
+			s.logf("mutation of %s failed: %v", job.mut.dataset, job.err)
+		} else {
+			s.logf("build %s failed: %v", job.key, job.err)
+		}
+	}
+	// Unregister before completing: a request arriving after the delete
+	// sees the catalog entry (success) or starts a fresh job (failure);
+	// one arriving before it waits on done and reads err. (Mutations are
+	// never registered.)
+	if job.kind != jobMutate {
+		s.pendingMu.Lock()
+		delete(s.pending, jobKey{job.key, job.kind == jobSweep})
+		s.pendingMu.Unlock()
+	}
+	close(job.done)
+}
+
+// datasetLock returns the dataset's coherence lock, creating it on first
+// use. Builds hold the read side for their whole build-persist-publish
+// span; mutations hold the write side across dataset persist, live
+// revalidation, and republish.
+func (s *Server) datasetLock(name string) *sync.RWMutex {
+	s.dlMu.Lock()
+	defer s.dlMu.Unlock()
+	l, ok := s.dsLocks[name]
+	if !ok {
+		l = &sync.RWMutex{}
+		s.dsLocks[name] = l
+	}
+	return l
 }
 
 // Shutdown stops admitting new builds, lets the workers drain every job
@@ -186,6 +320,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.mutQueue)
 	}
 	s.closingMu.Unlock()
 	done := make(chan struct{})
@@ -206,6 +341,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/build", s.handleBuild)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/rangesum", s.handleRangeSum)
 	mux.HandleFunc("GET /v1/synopses", s.handleSynopses)
@@ -237,6 +374,50 @@ type BuildResponse struct {
 	// Budgets is how many per-budget synopses the request covers: 0 for
 	// single builds, the swept budget count (1..key.budget) for sweeps.
 	Budgets int `json:"budgets,omitempty"`
+}
+
+// FreqProbWire is one (frequency, probability) entry of a mutation's
+// item pdf, as JSON.
+type FreqProbWire struct {
+	Freq float64 `json:"freq"`
+	Prob float64 `json:"prob"`
+}
+
+// ItemPDFWire is one item's frequency pdf, as JSON. An empty entry list
+// means the item's frequency is surely zero.
+type ItemPDFWire struct {
+	Entries []FreqProbWire `json:"entries"`
+}
+
+func (w ItemPDFWire) toPDF() pdata.ItemPDF {
+	entries := make([]pdata.FreqProb, len(w.Entries))
+	for k, e := range w.Entries {
+		entries[k] = pdata.FreqProb{Freq: e.Freq, Prob: e.Prob}
+	}
+	return pdata.ItemPDF{Entries: entries}
+}
+
+// MutateRequest is the POST /v1/append and /v1/update body. Append uses
+// Items (the pdfs extending the domain in order); update uses I and
+// Item. Mutations are defined over the value-pdf model: the dataset file
+// must be a value-model dataset.
+type MutateRequest struct {
+	Dataset string        `json:"dataset"`
+	Items   []ItemPDFWire `json:"items,omitempty"` // append
+	I       int           `json:"i,omitempty"`     // update
+	Item    *ItemPDFWire  `json:"item,omitempty"`  // update
+	// Wait makes the request synchronous: the response arrives after the
+	// dataset is persisted and every cataloged budget republished.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// MutateResponse reports where a mutation stands. Domain and Republished
+// are meaningful on wait:true responses ("applied").
+type MutateResponse struct {
+	Dataset     string `json:"dataset"`
+	Status      string `json:"status"` // "queued" or "applied"
+	Domain      int    `json:"domain,omitempty"`
+	Republished int    `json:"republished,omitempty"`
 }
 
 // EstimateResponse answers /v1/estimate.
@@ -357,10 +538,14 @@ func (s *Server) handleBuildLike(w http.ResponseWriter, r *http.Request, sweep b
 	// one a worker will complete, and a failed enqueue is visible to
 	// nobody.
 	jk := jobKey{key, sweep}
+	kind := jobBuild
+	if sweep {
+		kind = jobSweep
+	}
 	s.pendingMu.Lock()
 	job, inflight := s.pending[jk]
 	if !inflight {
-		job = &buildJob{key: key, sweep: sweep, done: make(chan struct{})}
+		job = &buildJob{kind: kind, key: key, done: make(chan struct{})}
 		if code, err := s.enqueue(job); err != nil {
 			s.pendingMu.Unlock()
 			writeError(w, http.StatusServiceUnavailable, code, "%v", err)
@@ -404,20 +589,124 @@ func (s *Server) ready(key catalog.Key, sweep bool) bool {
 	return true
 }
 
-// enqueue appends the job to the bounded FIFO, reporting queue_full when
-// the queue is at depth and shutting_down once Shutdown has begun.
+// enqueue appends the job to its bounded FIFO (builds and mutations
+// queue separately; mutations drain on one goroutine to preserve POST
+// order), reporting queue_full when the queue is at depth and
+// shutting_down once Shutdown has begun.
 func (s *Server) enqueue(job *buildJob) (code string, err error) {
 	s.closingMu.RLock()
 	defer s.closingMu.RUnlock()
 	if s.closed {
 		return CodeShuttingDown, fmt.Errorf("server is shutting down")
 	}
+	q, name := s.queue, "build"
+	if job.kind == jobMutate {
+		q, name = s.mutQueue, "mutation"
+	}
 	select {
-	case s.queue <- job:
+	case q <- job:
 		return "", nil
 	default:
-		return CodeQueueFull, fmt.Errorf("build queue full (%d pending)", cap(s.queue))
+		return CodeQueueFull, fmt.Errorf("%s queue full (%d pending)", name, cap(q))
 	}
+}
+
+// maxMutateBody bounds mutation bodies: append batches carry item pdfs,
+// so they are larger than build requests but still nowhere near this.
+const maxMutateBody = 1 << 22
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.handleMutate(w, r, false)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.handleMutate(w, r, true)
+}
+
+// handleMutate validates and enqueues a dataset mutation. Validation
+// that needs no dataset state (pdf sanity, name shape) happens here so
+// bad requests fail fast with 400; the domain bound is re-checked at
+// apply time, when mutations queued ahead of this one have landed.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, update bool) {
+	var req MutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMutateBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad mutation request body: %v", err)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty dataset name")
+		return
+	}
+	if err := validDatasetName(req.Dataset); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if _, err := os.Stat(s.datasetPath(req.Dataset)); err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "dataset %q not found", req.Dataset)
+		return
+	}
+	src, err := s.dataset(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if _, ok := src.(*pdata.ValuePDF); !ok {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"mutations are defined over the value-pdf model; dataset %q uses another model", req.Dataset)
+		return
+	}
+	mut := &mutation{dataset: req.Dataset}
+	if update {
+		if req.Item == nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "update needs an item pdf")
+			return
+		}
+		it := req.Item.toPDF()
+		if err := it.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+			return
+		}
+		if req.I < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "negative item index %d", req.I)
+			return
+		}
+		mut.updateI, mut.update = req.I, &it
+	} else {
+		if len(req.Items) == 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "append needs at least one item pdf")
+			return
+		}
+		mut.items = make([]pdata.ItemPDF, len(req.Items))
+		for k, iw := range req.Items {
+			mut.items[k] = iw.toPDF()
+			if err := mut.items[k].Validate(); err != nil {
+				writeError(w, http.StatusBadRequest, CodeBadRequest, "item %d: %v", k, err)
+				return
+			}
+		}
+	}
+	job := &buildJob{kind: jobMutate, mut: mut, done: make(chan struct{})}
+	if code, err := s.enqueue(job); err != nil {
+		writeError(w, http.StatusServiceUnavailable, code, "%v", err)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, MutateResponse{Dataset: req.Dataset, Status: "queued"})
+		return
+	}
+	select {
+	case <-job.done:
+	case <-r.Context().Done():
+		return // the queued mutation still applies and republishes
+	}
+	if job.err != nil {
+		writeError(w, http.StatusInternalServerError, CodeBuildFailed, "%v", job.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Dataset: req.Dataset, Status: "applied",
+		Domain: job.domain, Republished: job.republished,
+	})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -517,8 +806,11 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (catalog.Key, *c
 // configured. This is the serving twin of an offline cmd/psyn build:
 // both run probsyn.Build and both write the same envelope bytes.
 func (s *Server) build(key catalog.Key) error {
+	lock := s.datasetLock(key.Dataset)
+	lock.RLock()
+	defer lock.RUnlock()
 	if _, ok := s.cfg.Catalog.Get(key); ok {
-		return nil // built (or loaded) since this job was queued
+		return nil // built (or loaded, or republished by a mutation) since this job was queued
 	}
 	src, err := s.dataset(key.Dataset)
 	if err != nil {
@@ -568,6 +860,9 @@ func (s *Server) build(key catalog.Key) error {
 // clamped Bmax (a budget larger than the domain) repeat the Bmax
 // synopsis, matching what a single build at that budget returns.
 func (s *Server) buildSweep(key catalog.Key) error {
+	lock := s.datasetLock(key.Dataset)
+	lock.RLock()
+	defer lock.RUnlock()
 	if s.ready(key, true) {
 		return nil // swept (or loaded) since this job was queued
 	}
@@ -591,7 +886,7 @@ func (s *Server) buildSweep(key catalog.Key) error {
 		return fmt.Errorf("sweep %s: %w", key, err)
 	}
 	for b := 1; b <= key.Budget; b++ {
-		syn, err := fr.Synopsis(min(b, fr.Bmax()))
+		syn, err := catalog.ExtractBudget(fr, b)
 		if err != nil {
 			return fmt.Errorf("sweep %s: budget %d: %w", key, b, err)
 		}
@@ -611,6 +906,194 @@ func (s *Server) buildSweep(key catalog.Key) error {
 		s.cfg.Catalog.PutEncoded(bkey, syn, blob)
 	}
 	return nil
+}
+
+// ---- the mutation path ----
+
+// datasetKeys lists the dataset's cataloged keys. Catalog.List is
+// key-sorted, so budgets arrive ascending and the derived grouping is
+// deterministic.
+func (s *Server) datasetKeys(dataset string) []catalog.Key {
+	var keys []catalog.Key
+	for _, e := range s.cfg.Catalog.List() {
+		if e.Key.Dataset == dataset {
+			keys = append(keys, e.Key)
+		}
+	}
+	return keys
+}
+
+// mutate applies one dataset mutation under the dataset's write lock:
+// persist the mutated dataset (atomic rename — after a restart, a
+// from-scratch rebuild must reproduce exactly what is republished now),
+// swap the in-memory source, then revalidate every cataloged budget of
+// the dataset through its retained live frontier and republish each one
+// persist-before-publish. Because live maintenance is bit-identical to a
+// fresh build, every republished file is byte-for-byte what an offline
+// rebuild over the mutated dataset would write.
+//
+// If anything fails after the dataset swap, every catalog entry not yet
+// republished is withdrawn (memory and disk): the old synopses describe
+// data that no longer exists, and a cataloged entry short-circuits
+// /v1/build — withdrawing turns the failure into not_found answers and
+// fresh rebuilds over the mutated data instead of silently stale
+// estimates.
+func (s *Server) mutate(mu *mutation) (domain, republished int, err error) {
+	lock := s.datasetLock(mu.dataset)
+	lock.Lock()
+	defer lock.Unlock()
+	src, err := s.dataset(mu.dataset)
+	if err != nil {
+		return 0, 0, err
+	}
+	vp, ok := src.(*pdata.ValuePDF)
+	if !ok {
+		return 0, 0, fmt.Errorf("dataset %q is not a value-pdf dataset", mu.dataset)
+	}
+	next := vp.Clone()
+	if mu.update != nil {
+		if mu.updateI >= next.N {
+			return 0, 0, fmt.Errorf("update index %d outside domain [0, %d)", mu.updateI, next.N)
+		}
+		next.Items[mu.updateI] = mu.update.Clone()
+	} else {
+		for _, it := range mu.items {
+			next.Items = append(next.Items, it.Clone())
+		}
+		next.N = len(next.Items)
+	}
+	var buf bytes.Buffer
+	if err := probsyn.WriteDataset(&buf, next); err != nil {
+		return 0, 0, err
+	}
+	if err := catalog.WriteBlob(s.datasetPath(mu.dataset), buf.Bytes()); err != nil {
+		return 0, 0, fmt.Errorf("persist dataset %q: %w", mu.dataset, err)
+	}
+	s.dsMu.Lock()
+	s.datasets[mu.dataset] = next
+	s.dsMu.Unlock()
+
+	keys := s.datasetKeys(mu.dataset)
+	republish := func() error {
+		for _, group := range catalog.GroupKeys(keys[republished:]) {
+			lk := liveKey{dataset: mu.dataset, family: group[0].Family, metric: group[0].Metric, c: group[0].C}
+			gmax := 0
+			for _, k := range group {
+				if k.Budget > gmax {
+					gmax = k.Budget
+				}
+			}
+			ls, fresh, err := s.liveFor(lk, gmax, next)
+			if err != nil {
+				return fmt.Errorf("live frontier for %s/%s: %w", lk.family, lk.metric, err)
+			}
+			if !fresh {
+				// The retained state holds the pre-mutation data; absorb
+				// the mutation incrementally. A fresh frontier was built
+				// from the already-mutated source and needs nothing.
+				if mu.update != nil {
+					err = ls.m.Update(mu.updateI, *mu.update)
+				} else {
+					err = ls.m.Append(mu.items)
+				}
+				if err != nil {
+					// The live state may be mid-mutation; drop it so the
+					// next mutation rebuilds from the persisted source.
+					s.livesMu.Lock()
+					delete(s.lives, lk)
+					s.livesMu.Unlock()
+					return fmt.Errorf("maintain %s/%s: %w", lk.family, lk.metric, err)
+				}
+			}
+			for _, key := range group {
+				syn, err := catalog.ExtractBudget(ls.m, key.Budget)
+				if err != nil {
+					return err
+				}
+				blob, err := probsyn.MarshalSynopsis(syn)
+				if err != nil {
+					return err
+				}
+				// Same persist-before-publish discipline as builds and sweeps.
+				if s.cfg.CatalogDir != "" {
+					if err := catalog.WriteBlob(filepath.Join(s.cfg.CatalogDir, key.Filename()), blob); err != nil {
+						return fmt.Errorf("persist %s: %w", key, err)
+					}
+				}
+				s.cfg.Catalog.PutEncoded(key, syn, blob)
+				republished++
+			}
+		}
+		return nil
+	}
+	if err := republish(); err != nil {
+		// keys[:republished] were fully republished before the failure
+		// (groups process their keys in order); withdraw the rest.
+		for _, key := range keys[republished:] {
+			s.cfg.Catalog.Delete(key)
+			if s.cfg.CatalogDir != "" {
+				if rmErr := os.Remove(filepath.Join(s.cfg.CatalogDir, key.Filename())); rmErr != nil && !os.IsNotExist(rmErr) {
+					s.logf("withdraw %s: %v", key, rmErr)
+				}
+			}
+		}
+		return next.N, republished, fmt.Errorf("%w (withdrew %d stale catalog entries; rebuild them over the mutated dataset)", err, len(keys)-republished)
+	}
+	return next.N, republished, nil
+}
+
+// liveFor returns the retained live frontier for the key, building one
+// over data (already mutated) when none exists or the cataloged budgets
+// outgrew the retained request. fresh reports which case applied. The
+// retained set is bounded at cfg.MaxLiveStates; inserting beyond it
+// evicts the least-recently-mutated frontier.
+func (s *Server) liveFor(lk liveKey, gmax int, data *pdata.ValuePDF) (ls *liveState, fresh bool, err error) {
+	s.livesMu.Lock()
+	ls = s.lives[lk]
+	if ls != nil && ls.breq >= gmax {
+		s.liveClock++
+		ls.stamp = s.liveClock
+		s.livesMu.Unlock()
+		return ls, false, nil
+	}
+	s.livesMu.Unlock()
+	m, err := probsyn.ParseMetric(lk.metric)
+	if err != nil {
+		return nil, false, err
+	}
+	opts := []probsyn.BuildOption{
+		probsyn.WithPool(s.cfg.Pool),
+		probsyn.WithParams(probsyn.Params{C: lk.c}),
+	}
+	if lk.family == catalog.FamilyWavelet {
+		opts = append(opts, probsyn.WithWavelet())
+	}
+	live, err := probsyn.BuildLive(data, m, gmax, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	s.livesMu.Lock()
+	s.liveClock++
+	ls = &liveState{m: live, breq: gmax, stamp: s.liveClock}
+	s.lives[lk] = ls
+	for len(s.lives) > s.cfg.MaxLiveStates {
+		var oldest liveKey
+		first := true
+		for k, v := range s.lives {
+			if k == lk {
+				continue // never evict the entry we are about to use
+			}
+			if first || v.stamp < s.lives[oldest].stamp {
+				oldest, first = k, false
+			}
+		}
+		if first {
+			break
+		}
+		delete(s.lives, oldest)
+	}
+	s.livesMu.Unlock()
+	return ls, true, nil
 }
 
 // dataset returns the parsed source for a dataset name, reading and

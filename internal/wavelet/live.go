@@ -1,0 +1,485 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"probsyn/internal/engine"
+	"probsyn/internal/haar"
+	"probsyn/internal/metric"
+	"probsyn/internal/numeric"
+	"probsyn/internal/pdata"
+)
+
+// LiveFamily selects which wavelet construction a Live frontier maintains.
+type LiveFamily int
+
+// The three wavelet builds, mirroring the Sweep constructors.
+const (
+	// LiveSSEFamily maintains the greedy SSE-optimal frontier (Theorem 7,
+	// SweepSSE): the expected coefficients, their magnitude order, and the
+	// error accounting survive mutations, so an append or update patches
+	// the O(log n) path coefficients, merges them back into the retained
+	// total order, and re-derives the moments — no sort, no re-transform
+	// of unchanged state.
+	LiveSSEFamily LiveFamily = iota
+	// LiveRestrictedFamily maintains the restricted coefficient-tree DP
+	// (Theorem 8, SweepRestrictedPool) with its per-level state tables
+	// retained for dirty-path repair.
+	LiveRestrictedFamily
+	// LiveUnrestrictedFamily maintains the quantized unrestricted DP
+	// (SweepUnrestrictedPool) the same way.
+	LiveUnrestrictedFamily
+)
+
+// Live is a wavelet budget frontier kept live against a mutable value-pdf
+// source. It answers exactly what the corresponding Sweep answers —
+// Bmax/Cost/Synopsis, each extraction bit-identical to an independent
+// build at that budget — but retains the forward state (the DP's
+// per-level tables, or the SSE family's ordered coefficients) so
+// Append/Update can revalidate it without a from-scratch build.
+//
+// How much work a mutation saves is mutation-dependent:
+//
+//   - SSE family: every mutation is cheap — O(k log n) coefficient
+//     patches plus an O(n) order merge, versus the fresh build's moment
+//     pass and O(n log n) sort.
+//   - DP families, mutations whose candidate-value changes stay on the
+//     two finest levels of the dirty items' paths (mean-preserving
+//     corrections — the expected frequencies, hence all expected
+//     coefficients, unchanged): dirty-path repair recomputes only the
+//     O(log n) path node blocks (treedp.go's repair) — orders of
+//     magnitude below a full forward sweep.
+//   - DP families, mean-changing mutations: every expected coefficient
+//     on the path moves, which shifts incoming values across whole
+//     subtrees, so the forward sweep re-runs over the patched point
+//     errors and candidates (still on the retained layout). Appends that
+//     outgrow the power-of-two padding rebuild everything, including the
+//     deeper tree.
+//
+// Whatever path a mutation takes, the maintained state is bit-identical
+// to a fresh build over the mutated data; the live property tests assert
+// byte identity through the codec at every budget and worker count.
+//
+// A Live is not safe for concurrent use; callers serialize mutations
+// against extraction (probsyn.BuildLive's adapter locks internally).
+type Live struct {
+	family LiveFamily
+	kind   metric.Kind
+	p      metric.Params
+	q      int
+	breq   int // requested budget, before domain clamping
+	pool   *engine.Pool
+
+	logical int             // unpadded domain size mutations address
+	vp      *pdata.ValuePDF // padded mutable copy of the data
+	n       int             // padded domain size (len of vp.Items)
+	bmax    int             // min(breq, n)
+
+	// DP families: the retained forward state.
+	pe    *PointErrors
+	cvals []float64 // expected coefficients (candidates / grid centers)
+	cands [][]float64
+	d     *treeDP // nil when n == 1 (singleton extraction)
+
+	// SSE family: the retained greedy state.
+	expected  []float64 // padded expected frequencies
+	c         []float64 // haar.Forward(expected)
+	order     []int     // full TopK order: |normalized| desc, index asc
+	varArr    []float64 // Var[g_i] per logical item
+	varFloor  float64   // compensated sum of varArr
+	totalMuSq float64
+
+	costs       []float64 // memoized Cost frontier; nil after a mutation
+	fastRepairs int
+}
+
+// NewLive builds the initial frontier (performing exactly the work the
+// corresponding Sweep constructor performs) and retains its state for
+// maintenance. Mutations are defined over the value-pdf model, so the
+// source must be a *pdata.ValuePDF — convert other models with
+// pdata.AsValuePDF first if the induced-marginal semantics is acceptable.
+// q is the unrestricted family's quantization and ignored otherwise.
+func NewLive(src pdata.Source, family LiveFamily, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Live, error) {
+	vp, ok := src.(*pdata.ValuePDF)
+	if !ok {
+		return nil, fmt.Errorf("wavelet: live maintenance is defined over the value-pdf model; got %T (convert with pdata.AsValuePDF)", src)
+	}
+	if B < 1 {
+		return nil, fmt.Errorf("wavelet: live budget %d, want >= 1", B)
+	}
+	if family == LiveUnrestrictedFamily && q < 0 {
+		return nil, fmt.Errorf("wavelet: negative quantization %d", q)
+	}
+	if err := vp.Validate(); err != nil {
+		return nil, err
+	}
+	if pool == nil {
+		pool = engine.Serial()
+	}
+	lv := &Live{
+		family: family, kind: kind, p: p, q: q, breq: B, pool: pool,
+		logical: vp.N,
+	}
+	lv.vp = padValuePDF(vp.Clone())
+	lv.n = lv.vp.N
+	if err := lv.rebuildAll(); err != nil {
+		return nil, err
+	}
+	return lv, nil
+}
+
+// Bmax returns the largest budget the frontier covers; it can grow after
+// an Append when the requested budget was clamped by the old domain.
+func (lv *Live) Bmax() int { return lv.bmax }
+
+// Domain returns the current logical (unpadded) domain size.
+func (lv *Live) Domain() int { return lv.logical }
+
+// FastRepairs returns how many mutations took the dirty-path repair fast
+// path (DP families only) — tests and benchmarks assert the intended
+// path actually ran.
+func (lv *Live) FastRepairs() int { return lv.fastRepairs }
+
+// Cost returns the optimal expected error at budget b (clamped to
+// [1, Bmax]). The frontier is derived lazily from the maintained state
+// and memoized until the next mutation.
+func (lv *Live) Cost(b int) float64 {
+	if b > lv.bmax {
+		b = lv.bmax
+	}
+	if b < 1 {
+		b = 1
+	}
+	if lv.costs == nil {
+		costs := make([]float64, lv.bmax)
+		for bb := 1; bb <= lv.bmax; bb++ {
+			if lv.family != LiveSSEFamily && lv.d != nil {
+				costs[bb-1] = lv.d.cost(bb)
+			} else {
+				costs[bb-1] = lv.at(bb).Cost
+			}
+		}
+		lv.costs = costs
+	}
+	return lv.costs[b-1]
+}
+
+// Synopsis extracts the optimal budget-b synopsis, 1 <= b <= Bmax,
+// bit-identical to a fresh build over the current data.
+func (lv *Live) Synopsis(b int) (*Synopsis, error) {
+	if b < 1 || b > lv.bmax {
+		return nil, fmt.Errorf("wavelet: live budget %d outside [1, %d]", b, lv.bmax)
+	}
+	return lv.at(b), nil
+}
+
+// Update replaces item i's frequency pdf and revalidates the frontier.
+func (lv *Live) Update(i int, item pdata.ItemPDF) error {
+	if i < 0 || i >= lv.logical {
+		return fmt.Errorf("wavelet: update index %d outside domain [0, %d)", i, lv.logical)
+	}
+	if err := item.Validate(); err != nil {
+		return fmt.Errorf("wavelet: update item %d: %w", i, err)
+	}
+	lv.vp.Items[i] = item.Clone()
+	return lv.refresh([]int{i})
+}
+
+// Append extends the domain with the given item pdfs. While the new
+// items fit the power-of-two padding they replace pad slots and are
+// maintained like updates; once they outgrow it, the error tree deepens
+// and the state is rebuilt over the repadded domain.
+func (lv *Live) Append(items []pdata.ItemPDF) error {
+	if len(items) == 0 {
+		return nil
+	}
+	for k := range items {
+		if err := items[k].Validate(); err != nil {
+			return fmt.Errorf("wavelet: append item %d: %w", k, err)
+		}
+	}
+	newLogical := lv.logical + len(items)
+	if newLogical > lv.n {
+		// Regrow: repad and rebuild — the tree reshapes.
+		grown := &pdata.ValuePDF{N: newLogical, Items: make([]pdata.ItemPDF, 0, newLogical)}
+		grown.Items = append(grown.Items, lv.vp.Items[:lv.logical]...)
+		for _, it := range items {
+			grown.Items = append(grown.Items, it.Clone())
+		}
+		lv.vp = padValuePDF(grown)
+		lv.logical, lv.n = newLogical, lv.vp.N
+		lv.costs = nil
+		return lv.rebuildAll()
+	}
+	dirty := make([]int, len(items))
+	for k, it := range items {
+		dirty[k] = lv.logical + k
+		lv.vp.Items[lv.logical+k] = it.Clone()
+	}
+	lv.logical = newLogical
+	return lv.refresh(dirty)
+}
+
+// refresh revalidates the maintained state after the items listed in
+// dirty had their pdfs replaced (the padded domain unchanged).
+func (lv *Live) refresh(dirty []int) error {
+	lv.costs = nil
+	if lv.family == LiveSSEFamily {
+		lv.refreshSSE(dirty)
+		return nil
+	}
+	return lv.refreshDP(dirty)
+}
+
+// ---------------------------------------------------------------------------
+// SSE family maintenance.
+
+// refreshSSE patches the retained greedy state: dirty expected
+// frequencies and variances, a full (O(n), allocation-only) re-transform,
+// and a merge of the changed coefficients back into the retained order.
+// The magnitude order is a strict total order (ties break by index), so
+// the merged order is element-identical to a fresh TopK.
+func (lv *Live) refreshSSE(dirty []int) {
+	for _, i := range dirty {
+		mean, sq := lv.vp.Items[i].Mean(), lv.vp.Items[i].MeanSq()
+		lv.expected[i] = mean
+		if i < len(lv.varArr) {
+			lv.varArr[i] = sq - mean*mean
+		} else {
+			// Appends arrive in domain order, so the variance array
+			// extends without gaps.
+			lv.varArr = append(lv.varArr, sq-mean*mean)
+		}
+	}
+	newC := haar.Forward(lv.expected)
+	changed := make([]int, 0, 4*len(dirty))
+	for i, v := range newC {
+		if v != lv.c[i] {
+			changed = append(changed, i)
+		}
+	}
+	lv.c = newC
+	if len(changed) > 0 {
+		lv.order = mergeOrder(lv.order, lv.c, lv.n, changed)
+	}
+	lv.recomputeSSEMoments()
+}
+
+// recomputeSSEMoments re-derives the error accounting exactly as
+// SweepSSE does: a compensated sum over the per-item variances in item
+// order, and the plain coefficient-order sum of squared normalized
+// expected coefficients.
+func (lv *Live) recomputeSSEMoments() {
+	var acc numeric.Accumulator
+	for _, v := range lv.varArr {
+		acc.Add(v)
+	}
+	lv.varFloor = acc.Value()
+	total := 0.0
+	for i, v := range lv.c {
+		nv := v * haar.NormFactor(i, lv.n)
+		total += nv * nv
+	}
+	lv.totalMuSq = total
+}
+
+// mergeOrder rebuilds the magnitude order after the listed coefficients
+// changed value: the surviving entries keep their relative order (their
+// keys are untouched), the changed ones are sorted among themselves and
+// the two runs merge under the same (|normalized| desc, index asc)
+// comparator TopK sorts by. Because that comparator is a strict total
+// order, the result is the unique sorted sequence — element-identical to
+// TopK(c, n) — in O(n + |changed| log |changed|).
+func mergeOrder(old []int, c []float64, n int, changed []int) []int {
+	inChanged := make(map[int]bool, len(changed))
+	for _, i := range changed {
+		inChanged[i] = true
+	}
+	kept := make([]int, 0, len(old))
+	for _, i := range old {
+		if !inChanged[i] {
+			kept = append(kept, i)
+		}
+	}
+	key := func(i int) float64 {
+		v := c[i]
+		if v < 0 {
+			v = -v
+		}
+		return v * haar.NormFactor(i, n)
+	}
+	less := func(a, b int) bool {
+		ka, kb := key(a), key(b)
+		if ka != kb {
+			return ka > kb
+		}
+		return a < b
+	}
+	sortInts(changed, less)
+	out := make([]int, 0, n)
+	ci := 0
+	for _, i := range kept {
+		for ci < len(changed) && less(changed[ci], i) {
+			out = append(out, changed[ci])
+			ci++
+		}
+		out = append(out, i)
+	}
+	out = append(out, changed[ci:]...)
+	return out
+}
+
+// sortInts is an insertion sort under an arbitrary strict order — the
+// changed set is O(log n) per mutated item, far below sort.Slice's
+// overhead at that size.
+func sortInts(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DP family maintenance.
+
+// refreshDP re-derives the point errors and candidate sets over the
+// patched data (both are rebuilt wholesale — their cost is a vanishing
+// fraction of the forward DP's), diffs the candidates, and picks the
+// cheapest correct path: dirty-path repair when the changes are confined
+// to the dirty items' finest path nodes, a full forward resweep on the
+// retained layout otherwise, and a layout rebuild when candidate counts
+// changed.
+func (lv *Live) refreshDP(dirty []int) error {
+	newPe, err := NewPointErrors(lv.vp, lv.kind, lv.p)
+	if err != nil {
+		return err
+	}
+	newCvals := haar.Forward(lv.vp.ExpectedFreqs())
+	newCands := lv.candidates(newCvals)
+	if lv.n == 1 {
+		lv.pe, lv.cvals, lv.cands = newPe, newCvals, newCands
+		return nil // singleton extraction reads pe/cands directly
+	}
+	if sameCandidateShape(lv.cands, newCands) {
+		changed := changedCandidates(lv.cands, newCands)
+		if lv.d.canRepair(dirty, changed) {
+			lv.pe, lv.cvals, lv.cands = newPe, newCvals, newCands
+			lv.d.pe, lv.d.cands = newPe, newCands
+			lv.d.repair(dirty)
+			lv.fastRepairs++
+			return nil
+		}
+	}
+	lv.pe, lv.cvals, lv.cands = newPe, newCvals, newCands
+	return lv.rebuildDP()
+}
+
+// candidates builds the per-coefficient candidate lists for the DP
+// families, exactly as the Sweep constructors do.
+func (lv *Live) candidates(cvals []float64) [][]float64 {
+	if lv.family == LiveUnrestrictedFamily {
+		return candidateGrids(lv.vp, cvals, lv.q)
+	}
+	cands := make([][]float64, lv.n)
+	for j := range cands {
+		cands[j] = cvals[j : j+1]
+	}
+	return cands
+}
+
+func sameCandidateShape(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		if len(a[j]) != len(b[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// changedCandidates returns the coefficients whose candidate values
+// differ (shapes already known equal).
+func changedCandidates(a, b [][]float64) []int {
+	var out []int
+	for j := range a {
+		for k := range a[j] {
+			if a[j][k] != b[j][k] {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rebuildDP re-runs the forward sweep over the current pe/cands.
+func (lv *Live) rebuildDP() error {
+	d, err := newTreeDP(lv.n, lv.bmax, lv.cands, lv.pe, lv.kind.Cumulative(), lv.pool)
+	if err != nil {
+		return err
+	}
+	lv.d = d
+	return nil
+}
+
+// rebuildAll reconstructs every retained structure from lv.vp — the
+// initial build, and the regrow path when appends outgrow the padding.
+func (lv *Live) rebuildAll() error {
+	lv.bmax = lv.breq
+	if lv.bmax > lv.n {
+		lv.bmax = lv.n
+	}
+	lv.costs = nil
+	if lv.family == LiveSSEFamily {
+		lv.expected = lv.vp.ExpectedFreqs()
+		lv.c = haar.Forward(lv.expected)
+		lv.order = haar.TopK(lv.c, lv.n)
+		lv.varArr = make([]float64, lv.logical)
+		for i := 0; i < lv.logical; i++ {
+			mean, sq := lv.vp.Items[i].Mean(), lv.vp.Items[i].MeanSq()
+			lv.varArr[i] = sq - mean*mean
+		}
+		lv.recomputeSSEMoments()
+		return nil
+	}
+	pe, err := NewPointErrors(lv.vp, lv.kind, lv.p)
+	if err != nil {
+		return err
+	}
+	lv.pe = pe
+	lv.cvals = haar.Forward(lv.vp.ExpectedFreqs())
+	lv.cands = lv.candidates(lv.cvals)
+	if lv.n == 1 {
+		lv.d = nil
+		return nil
+	}
+	return lv.rebuildDP()
+}
+
+// at extracts the budget-b synopsis from the maintained state, mirroring
+// the corresponding Sweep's extraction operation for operation.
+func (lv *Live) at(b int) *Synopsis {
+	switch {
+	case lv.family == LiveSSEFamily:
+		syn := fromDense(lv.c, lv.order[:b])
+		retained := 0.0
+		for k, i := range syn.Indices {
+			nv := syn.Values[k] * haar.NormFactor(i, lv.n)
+			retained += nv * nv
+		}
+		syn.Cost = lv.varFloor + (lv.totalMuSq - retained)
+		return syn
+	case lv.n == 1 && lv.family == LiveRestrictedFamily:
+		return restrictedSingleton(lv.pe, lv.cvals[0], b)
+	case lv.n == 1:
+		return unrestrictedSingleton(lv.pe, lv.cands[0], b)
+	default:
+		keep, best := lv.d.extract(b)
+		syn := synopsisFromChoices(lv.n, keep)
+		syn.Cost = best
+		return syn
+	}
+}

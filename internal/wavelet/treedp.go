@@ -206,10 +206,35 @@ func (d *treeDP) leafTables(j int, v float64, out []float64) {
 // leaf children are evaluated inline.
 func (d *treeDP) solveLevel(l int, vals []float64) {
 	offs := d.offs[l]
-	first := 1 << l
-	total := offs[first]
+	total := offs[1<<l]
 	entries := d.bcap[l] + 1
 	d.res[l] = make([]float64, total*entries)
+	centries := min(d.B, 1) + 1
+	if l != d.levels-2 {
+		centries = d.bcap[l+1] + 1
+	}
+	// Dispatch (not MapChunks): result slots are derived from the state
+	// range, so the pool may run this static or dynamic. Unrestricted
+	// levels are ragged — per-node branch counts differ, so equal state
+	// ranges carry unequal work — and a dynamic pool's finer chunks let
+	// idle workers steal them with the same bit-identical result.
+	d.pool.Dispatch(0, total, total*entries*centries, func(_, lo, hi int) {
+		d.solveStates(l, lo, hi, vals, 0)
+	})
+}
+
+// solveStates computes the level-l table entries of states [lo, hi) from
+// the completed level below, in the serial operation order. vals holds
+// the incoming values of the covered states when l is the last internal
+// level, indexed vals[s-voff] (the full-level array for the forward
+// sweep, a single node's block for a repair). Every state is an
+// independent slot, so any partition of a level into solveStates calls —
+// the pool's chunks, a repair's dirty blocks — produces bit-identical
+// tables.
+func (d *treeDP) solveStates(l, lo, hi int, vals []float64, voff int) {
+	offs := d.offs[l]
+	first := 1 << l
+	entries := d.bcap[l] + 1
 	fused := l == d.levels-2
 	var coffs []int
 	ccap := min(d.B, 1)
@@ -218,63 +243,56 @@ func (d *treeDP) solveLevel(l int, vals []float64) {
 		ccap = d.bcap[l+1]
 	}
 	centries := ccap + 1
-	// Dispatch (not MapChunks): result slots are derived from the state
-	// range, so the pool may run this static or dynamic. Unrestricted
-	// levels are ragged — per-node branch counts differ, so equal state
-	// ranges carry unequal work — and a dynamic pool's finer chunks let
-	// idle workers steal them with the same bit-identical result.
-	d.pool.Dispatch(0, total, total*entries*centries, func(_, lo, hi int) {
-		var lbuf, rbuf []float64
-		if fused {
-			lbuf = make([]float64, centries)
-			rbuf = make([]float64, centries)
-		}
-		i := sort.SearchInts(offs, lo+1) - 1
-		for s := lo; s < hi; i++ {
-			j := first + i
-			end := min(hi, offs[i+1])
-			br := d.br(j)
-			for ; s < end; s++ {
-				local := s - offs[i]
-				out := d.res[l][s*entries : (s+1)*entries]
-				for k := range out {
-					out[k] = math.Inf(1)
-				}
-				for dd := 0; dd < br; dd++ {
-					var lt, rt []float64
-					if fused {
-						v := vals[s]
-						w := 0.0
-						if dd > 0 {
-							w = d.cands[j][dd-1]
-						}
-						d.leafTables(2*j, v+w, lbuf)
-						d.leafTables(2*j+1, v-w, rbuf)
-						lt, rt = lbuf, rbuf
-					} else {
-						cl := coffs[2*i] + local*br + dd
-						cr := coffs[2*i+1] + local*br + dd
-						lt = d.res[l+1][cl*centries : (cl+1)*centries]
-						rt = d.res[l+1][cr*centries : (cr+1)*centries]
-					}
-					shift := 0
+	var lbuf, rbuf []float64
+	if fused {
+		lbuf = make([]float64, centries)
+		rbuf = make([]float64, centries)
+	}
+	i := sort.SearchInts(offs, lo+1) - 1
+	for s := lo; s < hi; i++ {
+		j := first + i
+		end := min(hi, offs[i+1])
+		br := d.br(j)
+		for ; s < end; s++ {
+			local := s - offs[i]
+			out := d.res[l][s*entries : (s+1)*entries]
+			for k := range out {
+				out[k] = math.Inf(1)
+			}
+			for dd := 0; dd < br; dd++ {
+				var lt, rt []float64
+				if fused {
+					v := vals[s-voff]
+					w := 0.0
 					if dd > 0 {
-						shift = 1 // retaining j spends one coefficient
+						w = d.cands[j][dd-1]
 					}
-					for bb := shift; bb < entries; bb++ {
-						budget := bb - shift
-						best := out[bb]
-						for bl := 0; bl <= budget; bl++ {
-							if c := d.combine(lt[min(bl, ccap)], rt[min(budget-bl, ccap)]); c < best {
-								best = c
-							}
+					d.leafTables(2*j, v+w, lbuf)
+					d.leafTables(2*j+1, v-w, rbuf)
+					lt, rt = lbuf, rbuf
+				} else {
+					cl := coffs[2*i] + local*br + dd
+					cr := coffs[2*i+1] + local*br + dd
+					lt = d.res[l+1][cl*centries : (cl+1)*centries]
+					rt = d.res[l+1][cr*centries : (cr+1)*centries]
+				}
+				shift := 0
+				if dd > 0 {
+					shift = 1 // retaining j spends one coefficient
+				}
+				for bb := shift; bb < entries; bb++ {
+					budget := bb - shift
+					best := out[bb]
+					for bl := 0; bl <= budget; bl++ {
+						if c := d.combine(lt[min(bl, ccap)], rt[min(budget-bl, ccap)]); c < best {
+							best = c
 						}
-						out[bb] = best
 					}
+					out[bb] = best
 				}
 			}
 		}
-	})
+	}
 }
 
 // extract re-derives the optimal retained set and cost at budget b
@@ -466,6 +484,146 @@ func (d *treeDP) extractRootLeaf(b int) ([]coefChoice, float64) {
 	}
 	d.walkLeaf(1, v, budget, &keep)
 	return keep, best
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-path repair: incremental maintenance of the kept level tables.
+//
+// A state block's entries depend on (a) the point errors of the items in
+// its subtree, (b) the candidate values of the node itself and of the
+// finest-level nodes it evaluates inline, and (c) its states' incoming
+// values — sums of *ancestor* candidate values. So a mutation of item i
+// whose effect on the candidate sets is confined to i's two finest path
+// nodes (in particular: a correction that leaves every expected frequency
+// — and hence every expected coefficient — unchanged, the mean-preserving
+// case) invalidates exactly the blocks of the O(log n) nodes on i's
+// root-to-leaf path: every other block's inputs are value-identical, and
+// the dirty blocks' incoming-value rows recompute from clean ancestor
+// candidates. repair re-runs those blocks through the same solveStates
+// code the forward sweep uses, bottom-up, so the patched tables are
+// bit-identical to a from-scratch sweep over the mutated data. Mutations
+// that change candidates higher in the tree shift the incoming values of
+// entire subtrees and need a full forward resweep (wavelet.Live decides
+// which path applies; see canRepair).
+
+// pathLocal returns the local (within-level) index of the level-l
+// ancestor node of leaf item it.
+func (d *treeDP) pathLocal(l, it int) int { return it >> (d.levels - l) }
+
+// canRepair reports whether the blocks invalidated by mutating
+// dirtyItems, given the set of coefficients whose candidate lists changed
+// value (same lengths — a length change reshapes the layout and always
+// forces a rebuild), are exactly the dirty items' path blocks. That holds
+// when every changed coefficient lives at the two finest levels of a
+// dirty item's path: a finest-level (leaf) node's candidates are only
+// read inline by its parent's block and by the backtrack, and a
+// last-internal-level node's candidates only shape its own block's
+// decisions — neither reaches any other block's incoming values.
+func (d *treeDP) canRepair(dirtyItems []int, changed []int) bool {
+	if d.levels < 2 {
+		return true // n == 2: no tables are materialized at all
+	}
+	L := d.levels
+	onPath := func(l, j int) bool {
+		for _, it := range dirtyItems {
+			if (1<<l)+d.pathLocal(l, it) == j {
+				return true
+			}
+		}
+		return false
+	}
+	for _, j := range changed {
+		if j == 0 {
+			return false // c0 feeds every incoming value
+		}
+		switch l := bits.Len(uint(j)) - 1; {
+		case l == L-1:
+			if !onPath(L-2, j/2) {
+				return false
+			}
+		case l == L-2:
+			if !onPath(L-2, j) {
+				return false
+			}
+		default:
+			return false // higher-level candidates shift whole subtrees
+		}
+	}
+	return true
+}
+
+// repair recomputes the state blocks of the dirty items' path nodes,
+// bottom-up: the last internal level's blocks first (with their
+// incoming-value rows re-derived from clean ancestor candidates), then
+// each ancestor level's blocks from the freshly patched level below.
+// The caller must have established canRepair and already swapped the
+// mutated pe/cands into d.
+func (d *treeDP) repair(dirtyItems []int) {
+	if d.levels < 2 {
+		return // n == 2: extraction reads pe/cands directly
+	}
+	L := d.levels
+	locals := uniqueLocals(dirtyItems, func(it int) int { return d.pathLocal(L-2, it) })
+	for _, i := range locals {
+		vals := d.valsForBlock(i)
+		d.solveStates(L-2, d.offs[L-2][i], d.offs[L-2][i+1], vals, d.offs[L-2][i])
+	}
+	for l := L - 3; l >= 0; l-- {
+		locals = uniqueLocals(locals, func(child int) int { return child >> 1 })
+		for _, i := range locals {
+			d.solveStates(l, d.offs[l][i], d.offs[l][i+1], nil, 0)
+		}
+	}
+}
+
+// uniqueLocals maps xs through f and returns the sorted distinct results.
+func uniqueLocals(xs []int, f func(int) int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	sort.Ints(out)
+	w := 0
+	for _, v := range out {
+		if w == 0 || out[w-1] != v {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// valsForBlock re-derives the incoming values of every state of the
+// last-internal-level node with local index i, performing the same
+// top-down v±w accumulation incomingValues does along this node's
+// ancestor chain — so each value is bit-identical to the corresponding
+// entry of the forward sweep's full-level array.
+func (d *treeDP) valsForBlock(i int) []float64 {
+	L := d.levels
+	j := (1 << (L - 2)) + i
+	cur := make([]float64, d.br(0))
+	for c, w := range d.cands[0] {
+		cur[c+1] = w
+	}
+	for l := 0; l < L-2; l++ {
+		a := j >> (L - 2 - l)     // ancestor at level l
+		left := j>>(L-3-l) == 2*a // which child the path descends to
+		b := d.br(a)
+		next := make([]float64, len(cur)*b)
+		for s, v := range cur {
+			next[s*b] = v
+			for dd := 1; dd < b; dd++ {
+				w := d.cands[a][dd-1]
+				if left {
+					next[s*b+dd] = v + w
+				} else {
+					next[s*b+dd] = v - w
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
 }
 
 // synopsisFromChoices assembles a sparse synopsis from retained

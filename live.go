@@ -1,0 +1,231 @@
+package probsyn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"probsyn/internal/engine"
+	"probsyn/internal/hist"
+	"probsyn/internal/pdata"
+	"probsyn/internal/synopsis"
+	"probsyn/internal/wavelet"
+)
+
+// Maintainer is a live Frontier: the build's dynamic-program state is
+// retained, so the frontier can absorb Append/Update mutations of the
+// underlying data without a from-scratch rebuild, while every extraction
+// stays byte-identical to a fresh BuildSweep over the mutated data. See
+// BuildLive.
+type Maintainer = synopsis.Maintainer
+
+// BuildLive is BuildSweep's maintainable twin: the same one-DP-serves-
+// every-budget frontier, built with the same functional options, but
+// returned as a Maintainer whose retained state absorbs data mutations.
+//
+// Maintenance is defined over the value-pdf model — the one model in
+// which "item i's distribution" is an independently replaceable object —
+// so the source must be a *ValuePDF (convert other models with their
+// induced value-pdf marginals first if that semantics is acceptable).
+//
+// What a mutation costs:
+//
+//   - histogram: Append runs only the new suffix columns of the DP;
+//     Update re-runs the columns right of the updated item (hot-tail
+//     corrections are nearly free, an update at item 0 is a full re-DP).
+//   - wavelet, SSE family: every mutation is an O(k log n) coefficient
+//     patch plus an O(n) order merge — no re-sort, no moment pass.
+//   - wavelet, DP families: mean-preserving corrections repair only the
+//     O(log n) dirty-path state blocks; mean-changing mutations re-run
+//     the forward sweep over the patched state (the tree's incoming
+//     values shift globally — see DESIGN.md "Incremental maintenance").
+//
+// The determinism contract is unchanged: after any mutation sequence,
+// Synopsis(b) is codec-byte-identical to BuildSweep at budget b over the
+// final data, at every worker count. The returned Maintainer serializes
+// its own mutations and extractions with an internal lock, and each
+// mutation holds a pool admission token like any other build.
+//
+// The (1+eps)-approximate DP has no frontier (WithEps is rejected), and
+// workload-weighted histograms reject Append — the weight vector is
+// per-item and there is no ground truth for new items' weights.
+func BuildLive(src Source, m Metric, Bmax int, opts ...BuildOption) (Maintainer, error) {
+	if Bmax < 1 {
+		return nil, fmt.Errorf("probsyn: live budget %d, want >= 1", Bmax)
+	}
+	cfg := buildConfig{params: DefaultParams(), parallelism: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.epsSet {
+		return nil, fmt.Errorf("probsyn: the (1+eps)-approximate DP prunes per budget and has no frontier; use the exact DP for live maintenance")
+	}
+	vp, ok := src.(*pdata.ValuePDF)
+	if !ok {
+		return nil, fmt.Errorf("probsyn: live maintenance is defined over the value-pdf model; got %T (build from the induced value pdf if marginal semantics suffice)", src)
+	}
+	pool := cfg.pool
+	if pool == nil {
+		pool = engine.New(engine.Options{Workers: cfg.parallelism})
+	}
+	release, err := pool.Acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if cfg.wavelet {
+		if cfg.weights != nil {
+			return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
+		}
+		family := wavelet.LiveRestrictedFamily
+		switch {
+		case cfg.quantizeSet:
+			family = wavelet.LiveUnrestrictedFamily
+		case m == SSE || m == SSEFixed:
+			family = wavelet.LiveSSEFamily
+		}
+		lv, err := wavelet.NewLive(vp, family, m, cfg.params, Bmax, cfg.quantize, pool)
+		if err != nil {
+			return nil, err
+		}
+		return &liveWavelet{lv: lv, pool: pool}, nil
+	}
+	if cfg.quantizeSet {
+		return nil, fmt.Errorf("probsyn: unrestricted coefficient values are a wavelet option")
+	}
+	cfgCopy := cfg // the oracle factory outlives this call
+	makeOracle := func(v *pdata.ValuePDF) (hist.Oracle, error) {
+		return histOracle(v, m, &cfgCopy)
+	}
+	lv, err := hist.NewLiveDP(vp, makeOracle, Bmax, pool)
+	if err != nil {
+		return nil, err
+	}
+	return &liveHistogram{lv: lv, pool: pool, weighted: cfg.weights != nil}, nil
+}
+
+// liveHistogram adapts hist.LiveDP to the shared Maintainer surface.
+type liveHistogram struct {
+	mu       sync.Mutex
+	lv       *hist.LiveDP
+	pool     *engine.Pool
+	weighted bool
+}
+
+func (f *liveHistogram) Bmax() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lv.Table().Bmax()
+}
+
+func (f *liveHistogram) Domain() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lv.Domain()
+}
+
+func (f *liveHistogram) Cost(b int) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b < 1 {
+		b = 1
+	}
+	return f.lv.Table().Cost(b)
+}
+
+func (f *liveHistogram) Synopsis(b int) (Synopsis, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b < 1 || b > f.lv.Table().Bmax() {
+		return nil, fmt.Errorf("probsyn: frontier budget %d outside [1, %d]", b, f.lv.Table().Bmax())
+	}
+	return f.lv.Table().Histogram(b)
+}
+
+func (f *liveHistogram) Append(items []pdata.ItemPDF) error {
+	if f.weighted {
+		return fmt.Errorf("probsyn: workload-weighted live histograms cannot Append (no weights for new items); rebuild with an extended weight vector")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	release, err := f.pool.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer release()
+	return f.lv.Append(items)
+}
+
+func (f *liveHistogram) Update(i int, item pdata.ItemPDF) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	release, err := f.pool.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer release()
+	return f.lv.Update(i, item)
+}
+
+// liveWavelet adapts wavelet.Live to the shared Maintainer surface.
+type liveWavelet struct {
+	mu   sync.Mutex
+	lv   *wavelet.Live
+	pool *engine.Pool
+}
+
+func (f *liveWavelet) Bmax() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lv.Bmax()
+}
+
+func (f *liveWavelet) Domain() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lv.Domain()
+}
+
+func (f *liveWavelet) Cost(b int) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lv.Cost(b)
+}
+
+func (f *liveWavelet) Synopsis(b int) (Synopsis, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	syn, err := f.lv.Synopsis(b)
+	if err != nil {
+		return nil, err
+	}
+	return syn, nil
+}
+
+func (f *liveWavelet) Append(items []pdata.ItemPDF) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	release, err := f.pool.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer release()
+	return f.lv.Append(items)
+}
+
+func (f *liveWavelet) Update(i int, item pdata.ItemPDF) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	release, err := f.pool.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer release()
+	return f.lv.Update(i, item)
+}
+
+// assert both adapters satisfy the interface.
+var (
+	_ Maintainer = (*liveHistogram)(nil)
+	_ Maintainer = (*liveWavelet)(nil)
+)

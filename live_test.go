@@ -1,0 +1,197 @@
+package probsyn_test
+
+// Live-maintenance property tests: after ANY random sequence of appends
+// and in-place updates, a BuildLive frontier must be codec-byte-identical
+// at every budget to a fresh BuildSweep over the final data — at worker
+// counts {1, 2, NumCPU}, under -race in CI. This is the PR's core
+// contract: retained DP state plus incremental repair never drifts from
+// a from-scratch build.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"probsyn"
+)
+
+func liveRandItem(rng *rand.Rand) probsyn.ItemPDF {
+	k := 1 + rng.Intn(3)
+	entries := make([]probsyn.FreqProb, 0, k)
+	remaining := 1.0
+	for j := 0; j < k; j++ {
+		p := float64(1+rng.Intn(4)) * 0.125
+		if p > remaining {
+			break
+		}
+		remaining -= p
+		entries = append(entries, probsyn.FreqProb{Freq: float64(rng.Intn(6)), Prob: p})
+	}
+	return probsyn.ItemPDF{Entries: entries}
+}
+
+func liveRandVP(rng *rand.Rand, n int) *probsyn.ValuePDF {
+	vp := &probsyn.ValuePDF{N: n, Items: make([]probsyn.ItemPDF, n)}
+	for i := range vp.Items {
+		vp.Items[i] = liveRandItem(rng)
+	}
+	return vp
+}
+
+// liveFamilies enumerates the configurations live maintenance must agree
+// with BuildSweep on: both families, all three wavelet paths.
+func liveFamilies() []struct {
+	name string
+	m    probsyn.Metric
+	opts []probsyn.BuildOption
+} {
+	return []struct {
+		name string
+		m    probsyn.Metric
+		opts []probsyn.BuildOption
+	}{
+		{"histogram-sse", probsyn.SSE, nil},
+		{"histogram-sae", probsyn.SAE, nil},
+		{"wavelet-sse", probsyn.SSE, []probsyn.BuildOption{probsyn.WithWavelet()}},
+		{"wavelet-restricted", probsyn.SAE, []probsyn.BuildOption{probsyn.WithWavelet()}},
+		{"wavelet-unrestricted", probsyn.SAE, []probsyn.BuildOption{probsyn.WithWavelet(), probsyn.WithUnrestricted(1)}},
+	}
+}
+
+// mutate applies one random mutation to both the live frontier and the
+// plain model copy; mean-preserving corrections are in the mix so the
+// wavelet dirty-path repair is exercised alongside the resweep path.
+func mutate(t *testing.T, rng *rand.Rand, live probsyn.Maintainer, cur *probsyn.ValuePDF) {
+	t.Helper()
+	switch rng.Intn(4) {
+	case 0: // append a batch (eventually outgrows the wavelet padding)
+		k := 1 + rng.Intn(3)
+		items := make([]probsyn.ItemPDF, k)
+		for j := range items {
+			items[j] = liveRandItem(rng)
+			cur.Items = append(cur.Items, probsyn.ItemPDF{Entries: append([]probsyn.FreqProb(nil), items[j].Entries...)})
+		}
+		cur.N = len(cur.Items)
+		if err := live.Append(items); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	case 1: // mean-preserving correction
+		i := rng.Intn(cur.N)
+		it := probsyn.ItemPDF{Entries: []probsyn.FreqProb{{Freq: 1, Prob: 0.25}, {Freq: 3, Prob: 0.25}}}
+		cur.Items[i] = probsyn.ItemPDF{Entries: append([]probsyn.FreqProb(nil), it.Entries...)}
+		if err := live.Update(i, it); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+	default: // arbitrary in-place update
+		i := rng.Intn(cur.N)
+		it := liveRandItem(rng)
+		cur.Items[i] = probsyn.ItemPDF{Entries: append([]probsyn.FreqProb(nil), it.Entries...)}
+		if err := live.Update(i, it); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+	}
+}
+
+func assertLiveMatchesSweep(t *testing.T, live probsyn.Maintainer, cur *probsyn.ValuePDF, m probsyn.Metric, B int, opts []probsyn.BuildOption, tag string) {
+	t.Helper()
+	fresh, err := probsyn.BuildSweep(cur, m, B, opts...)
+	if err != nil {
+		t.Fatalf("%s: fresh sweep: %v", tag, err)
+	}
+	if live.Bmax() != fresh.Bmax() {
+		t.Fatalf("%s: live Bmax %d, fresh %d", tag, live.Bmax(), fresh.Bmax())
+	}
+	if live.Domain() != cur.N {
+		t.Fatalf("%s: live domain %d, data %d", tag, live.Domain(), cur.N)
+	}
+	for b := 1; b <= live.Bmax(); b++ {
+		ls, err := live.Synopsis(b)
+		if err != nil {
+			t.Fatalf("%s: live budget %d: %v", tag, b, err)
+		}
+		fs, err := fresh.Synopsis(b)
+		if err != nil {
+			t.Fatalf("%s: fresh budget %d: %v", tag, b, err)
+		}
+		lb, err := probsyn.MarshalSynopsis(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := probsyn.MarshalSynopsis(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lb, fb) {
+			t.Fatalf("%s: budget %d: live synopsis bytes differ from fresh BuildSweep", tag, b)
+		}
+	}
+}
+
+// TestLiveByteIdenticalToFreshSweep is the PR's acceptance property: any
+// mutation sequence, every budget, byte-identical through the codec, at
+// several worker counts.
+func TestLiveByteIdenticalToFreshSweep(t *testing.T) {
+	const B = 6
+	for _, fam := range liveFamilies() {
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			t.Run(fmt.Sprintf("%s/workers=%d", fam.name, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(41 + workers)))
+				vp := liveRandVP(rng, 13)
+				opts := append(append([]probsyn.BuildOption(nil), fam.opts...), probsyn.WithParallelism(workers))
+				live, err := probsyn.BuildLive(vp, fam.m, B, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := vp.Clone()
+				assertLiveMatchesSweep(t, live, cur, fam.m, B, opts, "initial")
+				for step := 0; step < 6; step++ {
+					mutate(t, rng, live, cur)
+					assertLiveMatchesSweep(t, live, cur, fam.m, B, opts, fmt.Sprintf("step %d", step))
+				}
+			})
+		}
+	}
+}
+
+// TestBuildLiveValidation covers the construction guard rails.
+func TestBuildLiveValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vp := liveRandVP(rng, 8)
+	if _, err := probsyn.BuildLive(vp, probsyn.SSE, 0); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	if _, err := probsyn.BuildLive(vp, probsyn.SSE, 4, probsyn.WithEps(0.5)); err == nil {
+		t.Fatal("eps-approximate live accepted")
+	}
+	if _, err := probsyn.BuildLive(vp, probsyn.SSE, 4, probsyn.WithUnrestricted(1)); err == nil {
+		t.Fatal("unrestricted histogram accepted")
+	}
+	basic := &probsyn.Basic{N: 4, Tuples: []probsyn.BasicTuple{{Item: 1, Prob: 0.5}}}
+	if _, err := probsyn.BuildLive(basic, probsyn.SSE, 2); err == nil {
+		t.Fatal("non-value-pdf source accepted")
+	}
+	// Workload weights: builds and updates work, appends are rejected.
+	weights := make([]float64, vp.N)
+	for i := range weights {
+		weights[i] = float64(1 + i%2)
+	}
+	live, err := probsyn.BuildLive(vp, probsyn.SSEFixed, 3, probsyn.WithWorkloadWeights(weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Update(2, liveRandItem(rng)); err != nil {
+		t.Fatalf("weighted update: %v", err)
+	}
+	if err := live.Append([]probsyn.ItemPDF{liveRandItem(rng)}); err == nil {
+		t.Fatal("weighted append accepted")
+	}
+	syn, err := live.Synopsis(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Terms() != 3 {
+		t.Fatalf("weighted live synopsis has %d terms, want 3", syn.Terms())
+	}
+}
