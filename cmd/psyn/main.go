@@ -27,6 +27,13 @@
 // merged dataset itself:
 //
 //	psyn -input data.pd -append more.pd -dataset ds -out ./catalog -save-data data.pd
+//
+// With -query, a batch request file (the POST /v1/query JSON body: ops of
+// estimate/rangesum against catalog keys) is answered offline from the
+// -out catalog directory, writing exactly the bytes psynd would serve —
+// the two responses are cmp-identical over the same catalog:
+//
+//	psyn -query batch.json -out ./catalog
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 
 	"probsyn"
 	"probsyn/internal/catalog"
+	"probsyn/internal/query"
 )
 
 // errParse marks a flag-parse failure the FlagSet has already reported to
@@ -78,12 +86,16 @@ func run(args []string, stdout io.Writer) error {
 		flagDataset  = fs.String("dataset", "", "dataset name used in -sweep/-append catalog filenames (default: the -input file stem)")
 		flagAppend   = fs.String("append", "", "value-model dataset file whose items extend the -input dataset; every synopsis for -dataset in the -out catalog directory is revalidated and rewritten")
 		flagSaveData = fs.String("save-data", "", "with -append: write the merged dataset to this file")
+		flagQuery    = fs.String("query", "", "batch request file (POST /v1/query JSON body) answered offline from the -out catalog directory; the response JSON is written to stdout, byte-identical to a served one")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage already printed, exit 0
 		}
 		return errParse
+	}
+	if *flagQuery != "" {
+		return runQuery(stdout, *flagQuery, *flagOut, *flagC)
 	}
 	if *flagIn != "" {
 		return loadSynopsis(stdout, *flagIn)
@@ -258,6 +270,51 @@ func runAppend(stdout io.Writer, src probsyn.Source, appendPath, dataset, outDir
 		fmt.Fprintf(stdout, "saved merged dataset to %s\n", saveData)
 	}
 	return nil
+}
+
+// runQuery answers a batch request file offline from a catalog
+// directory: the same evaluator, key canonicalization, c-defaulting, and
+// canonical response serialization as psynd's POST /v1/query, so the
+// bytes written to stdout are cmp-identical to the served response over
+// the same catalog. Nothing else is written to stdout — reports would
+// break the byte identity.
+func runQuery(stdout io.Writer, reqPath, catalogDir string, c float64) error {
+	if catalogDir == "" {
+		return fmt.Errorf("-query needs -out pointing at a saved catalog directory")
+	}
+	data, err := os.ReadFile(reqPath)
+	if err != nil {
+		return err
+	}
+	var req query.BatchRequest
+	// Same decoder as the server's /v1/query, so the two paths accept
+	// exactly the same bodies and reject with the same errors.
+	if err := query.DecodeBatch(data, &req); err != nil {
+		return fmt.Errorf("bad query body: %w", err)
+	}
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	resolve := func(bk query.BatchKey) (query.Querier, int, *query.OpError) {
+		kc := bk.C
+		if kc == 0 {
+			kc = c // the -c default, exactly as psynd defaults its -c
+		}
+		key, err := catalog.NewKey(bk.Dataset, bk.Family, bk.Metric, bk.Budget, kc)
+		if err != nil {
+			return nil, 0, &query.OpError{Code: "bad_request", Message: err.Error()}
+		}
+		syn, err := catalog.ReadFile(filepath.Join(catalogDir, key.Filename()))
+		if err != nil {
+			// The same message the server's resolver produces for an
+			// uncataloged key, so error results are byte-identical too.
+			return nil, 0, &query.OpError{Code: "not_found", Message: fmt.Sprintf("no synopsis for %s (build it first)", key)}
+		}
+		return query.Compile(syn), syn.Domain(), nil
+	}
+	var resp query.BatchResponse
+	query.EvalBatch(&req, resolve, &resp)
+	return query.EncodeResponse(stdout, &resp)
 }
 
 // runSweep builds the budget frontier in one DP run, prints the

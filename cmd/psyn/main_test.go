@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -373,5 +374,97 @@ func TestRunAppendValidation(t *testing.T) {
 	basicPath, _ := writeDataset(t, dir)
 	if err := run([]string{"-input", basicPath, "-append", morePath, "-out", empty}, &out); err == nil {
 		t.Fatal("-append over a basic-model input accepted")
+	}
+}
+
+// TestRunQuery: -query answers a batch request file offline from a
+// catalog directory, with per-op errors, and writes only the canonical
+// response JSON (exact float64 values, nothing else on stdout).
+func TestRunQuery(t *testing.T) {
+	dir := t.TempDir()
+	dataset, src := writeDataset(t, dir)
+	catDir := filepath.Join(dir, "catalog")
+	for _, args := range [][]string{
+		{"-input", dataset, "-metric", "SSE", "-buckets", "4", "-sweep", "-dataset", "ds", "-out", catDir},
+		{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "3", "-sweep", "-dataset", "ds", "-out", catDir},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqPath := filepath.Join(dir, "batch.json")
+	batch := `{"ops":[
+		{"dataset":"ds","family":"histogram","metric":"SSE","budget":4,"op":"estimate","i":7},
+		{"dataset":"ds","family":"wavelet","metric":"SAE","budget":3,"op":"rangesum","lo":2,"hi":20},
+		{"dataset":"ds","family":"histogram","metric":"SSE","budget":99,"op":"estimate","i":0}
+	]}`
+	if err := os.WriteFile(reqPath, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-query", reqPath, "-out", catDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Results []struct {
+			Value float64 `json:"value"`
+			Err   *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("stdout is not exactly the response JSON: %v\n%s", err, out.String())
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+	// Reference answers from offline builds over the same dataset.
+	hs, err := probsyn.Build(src, probsyn.SSE, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := probsyn.Build(src, probsyn.SAE, 3, probsyn.WithWavelet(), probsyn.WithParams(probsyn.Params{C: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resp.Results[0].Value, hs.Estimate(7); got != want || resp.Results[0].Err != nil {
+		t.Fatalf("op 0: %v, want %v", got, want)
+	}
+	if got, want := resp.Results[1].Value, ws.RangeSum(2, 20); got != want || resp.Results[1].Err != nil {
+		t.Fatalf("op 1: %v, want %v", got, want)
+	}
+	if e := resp.Results[2].Err; e == nil || e.Code != "not_found" {
+		t.Fatalf("op 2: want not_found, got %+v", resp.Results[2])
+	}
+	// A second run over the same catalog produces the same bytes
+	// (determinism underpinning the served-vs-offline cmp check in CI).
+	var again bytes.Buffer
+	if err := run([]string{"-query", reqPath, "-out", catDir}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("query response not deterministic")
+	}
+}
+
+func TestRunQueryValidation(t *testing.T) {
+	dir := t.TempDir()
+	reqPath := filepath.Join(dir, "batch.json")
+	if err := os.WriteFile(reqPath, []byte(`{"ops":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-query", reqPath}, io.Discard); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Fatalf("missing -out accepted: %v", err)
+	}
+	if err := run([]string{"-query", reqPath, "-out", dir}, io.Discard); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := os.WriteFile(reqPath, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-query", reqPath, "-out", dir}, io.Discard); err == nil {
+		t.Fatal("malformed batch accepted")
 	}
 }

@@ -18,6 +18,14 @@
 //	curl 'localhost:7075/v1/rangesum?dataset=ds&family=histogram&metric=SSE&budget=16&lo=0&hi=99'
 //	curl 'localhost:7075/v1/synopses'
 //
+// With -pprof ADDR, net/http/pprof serves on a second listener separate
+// from the query surface, so profiling a server under load neither
+// exposes the profiler to query clients nor competes with them for the
+// serving mux:
+//
+//	psynd -addr 127.0.0.1:7075 -data ./data -pprof 127.0.0.1:7076
+//	go tool pprof http://127.0.0.1:7076/debug/pprof/profile?seconds=10
+//
 // SIGINT/SIGTERM shut down gracefully: the listener closes, queued
 // builds drain, and the process exits 0.
 package main
@@ -30,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,6 +82,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		flagC        = fs.Float64("c", 0.5, "sanity constant for relative-error metrics")
 		flagMaxLive  = fs.Int("max-live", server.DefaultMaxLiveStates, "retained live frontiers (DP state for incremental /v1/append|/v1/update); least-recently-mutated evicted beyond this")
 		flagDrain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining queued builds")
+		flagPprof    = fs.String("pprof", "", "serve net/http/pprof on this address (a second listener, kept off the query surface); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -120,6 +130,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var pprofSrv *http.Server
+	if *flagPprof != "" {
+		// An explicit mux, not http.DefaultServeMux: importing net/http/pprof
+		// registers its handlers globally, and serving the default mux would
+		// drag along anything else the process (or a dependency) registered.
+		pln, err := net.Listen("tcp", *flagPprof)
+		if err != nil {
+			return err
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: pmux}
+		fmt.Fprintf(stdout, "psynd: pprof on %s\n", pln.Addr())
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(stdout, "psynd: pprof server: %v\n", err)
+			}
+		}()
+	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(stdout, "psynd: listening on %s (pool: %d workers, max %d concurrent builds)\n",
 		ln.Addr(), pool.Workers(), pool.MaxBuilds())
@@ -135,7 +168,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	sctx, cancel := context.WithTimeout(context.Background(), *flagDrain)
 	defer cancel()
 	httpErr := httpSrv.Shutdown(sctx) // close the listener, finish in-flight requests
-	drainErr := srv.Shutdown(sctx)    // drain queued builds through the pool
+	if pprofSrv != nil {
+		httpErr = errors.Join(httpErr, pprofSrv.Shutdown(sctx))
+	}
+	drainErr := srv.Shutdown(sctx) // drain queued builds through the pool
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -220,3 +220,48 @@ func TestRunUnknownFlagIsParseError(t *testing.T) {
 		t.Fatalf("unknown flag returned %v, want errParse", err)
 	}
 }
+
+var pprofRE = regexp.MustCompile(`pprof on ([^\s(]+)`)
+
+// TestPsyndPprofListener: -pprof serves the profiler on its own
+// listener — profile endpoints answer there and are absent from the
+// query surface.
+func TestPsyndPprofListener(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir)
+	base, out, stop := startPsynd(t, []string{"-data", dir, "-pprof", "127.0.0.1:0"})
+	defer func() {
+		if err := stop(); err != nil {
+			t.Error(err)
+		}
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	var paddr string
+	for paddr == "" {
+		if m := pprofRE.FindStringSubmatch(out.String()); m != nil {
+			paddr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("psynd never reported its pprof address:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + paddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d", resp.StatusCode)
+	}
+	// The profiler must not leak onto the serving address.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served on the query listener")
+	}
+}

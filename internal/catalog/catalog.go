@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"probsyn/internal/metric"
+	"probsyn/internal/query"
 	"probsyn/internal/synopsis"
 )
 
@@ -143,11 +144,19 @@ func ParseFilename(name string) (Key, error) {
 }
 
 // Entry is one cataloged synopsis with its serialized size (the bytes the
-// envelope occupies on disk and on replication wires).
+// envelope occupies on disk and on replication wires) and its compiled
+// querier — the O(log)-time zero-allocation read path every query answers
+// through.
 type Entry struct {
 	Key      Key
 	Synopsis synopsis.Synopsis
 	Bytes    int
+	// Querier is compiled from Synopsis once, at publish time, and is
+	// bit-identical to the synopsis's own Estimate/RangeSum. It is never
+	// invalidated in place: a republish (a live mutation, a rebuilt
+	// budget) installs a whole new Entry, querier included, so a reader
+	// holding this entry always has the querier matching this synopsis.
+	Querier query.Querier
 }
 
 // Catalog is the in-memory registry. Reads (Get, List, Len) take the
@@ -182,7 +191,7 @@ func (c *Catalog) Put(key Key, syn synopsis.Synopsis) (*Entry, []byte, error) {
 // entry records the blob's size without re-marshaling, and the blob is
 // not retained — the catalog keeps only the decoded synopsis.
 func (c *Catalog) PutEncoded(key Key, syn synopsis.Synopsis, blob []byte) *Entry {
-	e := &Entry{Key: key, Synopsis: syn, Bytes: len(blob)}
+	e := &Entry{Key: key, Synopsis: syn, Bytes: len(blob), Querier: query.Compile(syn)}
 	c.mu.Lock()
 	c.entries[key] = e
 	c.mu.Unlock()

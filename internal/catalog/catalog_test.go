@@ -10,6 +10,7 @@ import (
 	"probsyn/internal/hist"
 	"probsyn/internal/metric"
 	"probsyn/internal/ptest"
+	"probsyn/internal/query"
 	"probsyn/internal/synopsis"
 	"probsyn/internal/wavelet"
 )
@@ -262,6 +263,52 @@ func TestWriteReadFileEnvelopes(t *testing.T) {
 		}
 		if back.Terms() != h.Terms() || back.ErrorCost() != h.ErrorCost() {
 			t.Fatalf("%s: reload mismatch", name)
+		}
+	}
+}
+
+// Every publish — Put, PutEncoded, a LoadDir — must install a compiled
+// querier answering bit-identically to the entry's synopsis, so the
+// serving read path never has to fall back to the uncompiled methods.
+func TestEntriesCarryCompiledQueriers(t *testing.T) {
+	h, w := buildPair(t)
+	dir := t.TempDir()
+	c := New()
+	kh := Key{Dataset: "d", Family: FamilyHistogram, Metric: "SSE", Budget: 4}
+	kw := Key{Dataset: "d", Family: FamilyWavelet, Metric: "SSE", Budget: 5}
+	if _, _, err := c.Put(kh, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Put(kw, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SaveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded := New()
+	if _, err := loaded.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []*Catalog{c, loaded} {
+		for _, e := range cat.List() {
+			if e.Querier == nil {
+				t.Fatalf("%v: entry published without a querier", e.Key)
+			}
+			if _, ok := e.Querier.(*query.HistogramQuerier); e.Key.Family == FamilyHistogram && !ok {
+				t.Fatalf("%v: querier is %T, want compiled histogram querier", e.Key, e.Querier)
+			}
+			if _, ok := e.Querier.(*query.WaveletQuerier); e.Key.Family == FamilyWavelet && !ok {
+				t.Fatalf("%v: querier is %T, want compiled wavelet querier", e.Key, e.Querier)
+			}
+			n := e.Synopsis.Domain()
+			for i := 0; i < n; i++ {
+				if got, want := e.Querier.Estimate(i), e.Synopsis.Estimate(i); got != want {
+					t.Fatalf("%v: querier Estimate(%d) = %v, synopsis %v", e.Key, i, got, want)
+				}
+			}
+			if got, want := e.Querier.RangeSum(0, n-1), e.Synopsis.RangeSum(0, n-1); got != want {
+				t.Fatalf("%v: querier RangeSum = %v, synopsis %v", e.Key, got, want)
+			}
 		}
 	}
 }

@@ -190,6 +190,18 @@ func TestHistogramEstimateAndRangeSum(t *testing.T) {
 	if got := h.RangeSum(-3, 99); got != 20 {
 		t.Errorf("RangeSum clamped = %v, want 20", got)
 	}
+	if got := h.RangeSum(4, 2); got != 0 {
+		t.Errorf("RangeSum empty range = %v, want 0", got)
+	}
+	// Out-of-domain estimates clamp explicitly to the edge buckets — the
+	// documented library behavior (the server rejects such queries before
+	// they reach the synopsis).
+	if got := h.Estimate(-7); got != 2 {
+		t.Errorf("Estimate(-7) = %v, want bucket 0's rep 2", got)
+	}
+	if got := h.Estimate(99); got != 1 {
+		t.Errorf("Estimate(99) = %v, want last bucket's rep 1", got)
+	}
 }
 
 func TestHistogramValidateRejectsBadShapes(t *testing.T) {

@@ -48,17 +48,37 @@ func (h *Histogram) ErrorCost() float64 { return h.Cost }
 func (h *Histogram) Domain() int { return h.N }
 
 // Estimate returns the histogram's approximation ĝ_i of item i's frequency.
+// Out-of-domain items are clamped explicitly to the nearest edge (i < 0
+// answers bucket 0's representative, i >= N the last bucket's): the
+// histogram has no information outside [0, N), so the edge bucket is the
+// least-wrong constant answer. Callers that must not fabricate an answer
+// for out-of-domain items — the serving layer's reject-out-of-domain
+// contract — validate i against Domain() before calling.
 func (h *Histogram) Estimate(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= h.N {
+		i = h.N - 1
+	}
 	k := sort.Search(len(h.Buckets), func(k int) bool { return h.Buckets[k].End >= i })
 	if k == len(h.Buckets) {
-		k = len(h.Buckets) - 1
+		k = len(h.Buckets) - 1 // unreachable on a Validate()-clean histogram
 	}
 	return h.Buckets[k].Rep
 }
 
 // RangeSum estimates the expected total frequency over the inclusive item
 // range [lo, hi] (each item approximated by its bucket representative) —
-// the quantity probabilistic range-count queries need.
+// the quantity probabilistic range-count queries need. Out-of-domain ends
+// clamp; an empty range sums to zero.
+//
+// The sum is computed as the prefix difference P(hi) - P(lo-1), where
+// P(i) accumulates whole buckets left to right and finishes with the
+// partial bucket containing i. The compiled querier (internal/query)
+// evaluates exactly this decomposition from a precomputed prefix array,
+// so compiled and uncompiled answers are bit-identical by construction —
+// keep the two in lockstep.
 func (h *Histogram) RangeSum(lo, hi int) float64 {
 	if lo < 0 {
 		lo = 0
@@ -66,19 +86,28 @@ func (h *Histogram) RangeSum(lo, hi int) float64 {
 	if hi >= h.N {
 		hi = h.N - 1
 	}
+	if hi < lo {
+		return 0
+	}
+	if lo == 0 {
+		return h.prefixTo(hi)
+	}
+	return h.prefixTo(hi) - h.prefixTo(lo-1)
+}
+
+// prefixTo returns P(i): the estimated total frequency over [0, i],
+// accumulating full buckets left to right and ending with the partial
+// bucket containing i. The accumulation order is the contract shared with
+// the compiled querier's prefix array (see RangeSum).
+func (h *Histogram) prefixTo(i int) float64 {
 	total := 0.0
 	for _, b := range h.Buckets {
-		if b.End < lo || b.Start > hi {
+		if i > b.End {
+			total += float64(b.Width()) * b.Rep
 			continue
 		}
-		s, e := b.Start, b.End
-		if s < lo {
-			s = lo
-		}
-		if e > hi {
-			e = hi
-		}
-		total += float64(e-s+1) * b.Rep
+		total += float64(i-b.Start+1) * b.Rep
+		break
 	}
 	return total
 }

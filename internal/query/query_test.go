@@ -1,0 +1,332 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probsyn/internal/hist"
+	"probsyn/internal/wavelet"
+)
+
+// randHistogram builds a random but Validate()-clean histogram: random
+// bucket boundaries over a random domain, representatives spanning
+// negative, zero, and positive values so sign-sensitive rounding paths
+// are exercised.
+func randHistogram(rng *rand.Rand) *hist.Histogram {
+	n := 1 + rng.Intn(300)
+	b := 1 + rng.Intn(n)
+	starts := map[int]bool{0: true}
+	for len(starts) < b {
+		starts[rng.Intn(n)] = true
+	}
+	var sorted []int
+	for s := range starts {
+		sorted = append(sorted, s)
+	}
+	sort.Ints(sorted)
+	h := &hist.Histogram{N: n}
+	for k, s := range sorted {
+		end := n - 1
+		if k+1 < len(sorted) {
+			end = sorted[k+1] - 1
+		}
+		rep := (rng.Float64() - 0.5) * 20
+		if rng.Intn(8) == 0 {
+			rep = 0
+		}
+		h.Buckets = append(h.Buckets, hist.Bucket{Start: s, End: end, Rep: rep})
+	}
+	return h
+}
+
+// randWavelet builds a random wavelet synopsis: a random subset of
+// coefficient indices (root sometimes retained, sometimes not) with
+// values spanning signs and magnitudes.
+func randWavelet(rng *rand.Rand) *wavelet.Synopsis {
+	n := 1 << (1 + rng.Intn(9)) // 2..512
+	b := 1 + rng.Intn(n)
+	keep := map[int]bool{}
+	for len(keep) < b {
+		keep[rng.Intn(n)] = true
+	}
+	var idx []int
+	for i := range keep {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	s := &wavelet.Synopsis{N: n, Indices: idx, Values: make([]float64, len(idx))}
+	for k := range s.Values {
+		v := (rng.Float64() - 0.5) * 10
+		if rng.Intn(8) == 0 {
+			v = 0
+		}
+		s.Values[k] = v
+	}
+	return s
+}
+
+// bitEqual is the acceptance predicate: the same float64 bits, so even
+// a +0.0 vs -0.0 drift between the compiled and reference paths fails.
+func bitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestCompiledHistogramBitIdentical: over random histograms and random
+// (in-domain, out-of-domain, clamped, inverted) queries, the compiled
+// querier returns the same bits as the Histogram methods.
+func TestCompiledHistogramBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		h := randHistogram(rng)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("trial %d: bad fixture: %v", trial, err)
+		}
+		q := CompileHistogram(h)
+		n := h.N
+		for qi := 0; qi < 200; qi++ {
+			i := rng.Intn(2*n) - n/2
+			if got, want := q.Estimate(i), h.Estimate(i); !bitEqual(got, want) {
+				t.Fatalf("trial %d: Estimate(%d) = %x, reference %x", trial, i, math.Float64bits(got), math.Float64bits(want))
+			}
+			lo := rng.Intn(2*n) - n/2
+			hi := rng.Intn(2*n) - n/2
+			if got, want := q.RangeSum(lo, hi), h.RangeSum(lo, hi); !bitEqual(got, want) {
+				t.Fatalf("trial %d: RangeSum(%d,%d) = %v (%x), reference %v (%x)",
+					trial, lo, hi, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+		// The full-domain sum through the seams both formulations share.
+		if got, want := q.RangeSum(0, n-1), h.RangeSum(0, n-1); !bitEqual(got, want) {
+			t.Fatalf("trial %d: full RangeSum differs", trial)
+		}
+	}
+}
+
+// TestCompiledWaveletBitIdentical is the wavelet twin: the compiled
+// ancestor walk must reproduce the full coefficient scan bit for bit.
+func TestCompiledWaveletBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		s := randWavelet(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: bad fixture: %v", trial, err)
+		}
+		q := CompileWavelet(s)
+		n := s.N
+		for qi := 0; qi < 200; qi++ {
+			i := rng.Intn(2*n) - n/2
+			if got, want := q.Estimate(i), s.Estimate(i); !bitEqual(got, want) {
+				t.Fatalf("trial %d (n=%d, B=%d): Estimate(%d) = %v (%x), reference %v (%x)",
+					trial, n, s.B(), i, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			lo := rng.Intn(2*n) - n/2
+			hi := rng.Intn(2*n) - n/2
+			if got, want := q.RangeSum(lo, hi), s.RangeSum(lo, hi); !bitEqual(got, want) {
+				t.Fatalf("trial %d (n=%d, B=%d): RangeSum(%d,%d) = %v (%x), reference %v (%x)",
+					trial, n, s.B(), lo, hi, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+		if got, want := q.RangeSum(0, n-1), s.RangeSum(0, n-1); !bitEqual(got, want) {
+			t.Fatalf("trial %d: full RangeSum differs", trial)
+		}
+	}
+}
+
+// TestCompiledWaveletSparsePathBitIdentical re-runs the wavelet identity
+// property with the dense position table stripped, forcing the binary
+// search fallback CompileWavelet uses beyond waveletDenseLimit (test
+// domains are all below the limit, so the fallback needs its own pass).
+func TestCompiledWaveletSparsePathBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		s := randWavelet(rng)
+		q := CompileWavelet(s)
+		q.pos = nil
+		n := s.N
+		for qi := 0; qi < 100; qi++ {
+			i := rng.Intn(2*n) - n/2
+			if got, want := q.Estimate(i), s.Estimate(i); !bitEqual(got, want) {
+				t.Fatalf("trial %d: sparse Estimate(%d) = %v, reference %v", trial, i, got, want)
+			}
+			lo := rng.Intn(2*n) - n/2
+			hi := rng.Intn(2*n) - n/2
+			if got, want := q.RangeSum(lo, hi), s.RangeSum(lo, hi); !bitEqual(got, want) {
+				t.Fatalf("trial %d: sparse RangeSum(%d,%d) = %v, reference %v", trial, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileDispatch: Compile returns the family-specific querier for
+// the two known families and falls back to the synopsis itself (a valid
+// if slower querier) for anything else.
+func TestCompileDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := randHistogram(rng)
+	if _, ok := Compile(h).(*HistogramQuerier); !ok {
+		t.Fatalf("Compile(histogram) = %T, want *HistogramQuerier", Compile(h))
+	}
+	w := randWavelet(rng)
+	if _, ok := Compile(w).(*WaveletQuerier); !ok {
+		t.Fatalf("Compile(wavelet) = %T, want *WaveletQuerier", Compile(w))
+	}
+	var other stubSynopsis
+	if got := Compile(other); got != other {
+		t.Fatalf("Compile(unknown family) = %T, want the synopsis itself", got)
+	}
+}
+
+type stubSynopsis struct{}
+
+func (stubSynopsis) Estimate(int) float64      { return 1 }
+func (stubSynopsis) RangeSum(int, int) float64 { return 2 }
+func (stubSynopsis) Terms() int                { return 0 }
+func (stubSynopsis) ErrorCost() float64        { return 0 }
+func (stubSynopsis) Domain() int               { return 1 }
+
+// TestCompiledWaveletImmuneToSourceMutation: the querier copies the
+// synopsis's slices at compile time — mutating the source afterwards
+// (the invalidation hazard the catalog's republish-by-replacement
+// avoids) must not skew already-compiled answers.
+func TestCompiledWaveletImmuneToSourceMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randWavelet(rng)
+	q := CompileWavelet(s)
+	i := s.N / 2
+	want := q.Estimate(i)
+	for k := range s.Values {
+		s.Values[k] += 100
+	}
+	if got := q.Estimate(i); !bitEqual(got, want) {
+		t.Fatalf("querier answer moved with source mutation: %v -> %v", want, got)
+	}
+}
+
+// TestQuerierHotPathZeroAlloc is the allocation gate of the acceptance
+// criteria: Estimate and RangeSum on both compiled families allocate
+// nothing, ever.
+func TestQuerierHotPathZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := CompileHistogram(randHistogram(rng))
+	w := CompileWavelet(randWavelet(rng))
+	for name, fn := range map[string]func(){
+		"histogram/Estimate": func() { h.Estimate(3) },
+		"histogram/RangeSum": func() { h.RangeSum(1, h.n-1) },
+		"wavelet/Estimate":   func() { w.Estimate(1) },
+		"wavelet/RangeSum":   func() { w.RangeSum(1, w.n-1) },
+	} {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestEvalBatch covers the batch evaluator: in-order results, per-op
+// validation mirroring the single endpoints, per-key resolution caching,
+// and per-op errors that do not fail the batch.
+func TestEvalBatch(t *testing.T) {
+	h := &hist.Histogram{N: 8, Buckets: []hist.Bucket{
+		{Start: 0, End: 3, Rep: 2},
+		{Start: 4, End: 7, Rep: 5},
+	}}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := CompileHistogram(h)
+	known := BatchKey{Dataset: "ds", Family: "histogram", Metric: "SSE", Budget: 2}
+	resolves := 0
+	resolve := func(k BatchKey) (Querier, int, *OpError) {
+		resolves++
+		if k != known {
+			return nil, 0, &OpError{Code: "not_found", Message: "no synopsis"}
+		}
+		return q, h.N, nil
+	}
+	req := &BatchRequest{Ops: []Op{
+		{BatchKey: known, Op: OpEstimate, I: 5},
+		{BatchKey: known, Op: OpRangeSum, Lo: 0, Hi: 7},
+		{BatchKey: known, Op: OpRangeSum, Lo: -3, Hi: 99}, // clamps like the GET endpoint
+		{BatchKey: known, Op: OpEstimate, I: 99},          // out of domain: per-op bad_request
+		{BatchKey: known, Op: OpRangeSum, Lo: 5, Hi: 2},   // inverted: per-op bad_request
+		{BatchKey: BatchKey{Dataset: "nope"}, Op: OpEstimate, I: 0},
+		{BatchKey: known, Op: "median", I: 1}, // unknown op
+	}}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var resp BatchResponse
+	EvalBatch(req, resolve, &resp)
+	if len(resp.Results) != len(req.Ops) {
+		t.Fatalf("%d results for %d ops", len(resp.Results), len(req.Ops))
+	}
+	if r := resp.Results[0]; r.Err != nil || r.Value != 5 {
+		t.Fatalf("estimate result = %+v", r)
+	}
+	if r := resp.Results[1]; r.Err != nil || r.Value != h.RangeSum(0, 7) {
+		t.Fatalf("rangesum result = %+v", r)
+	}
+	if r := resp.Results[2]; r.Err != nil || r.Value != h.RangeSum(0, 7) {
+		t.Fatalf("clamped rangesum result = %+v", r)
+	}
+	for i, wantCode := range map[int]string{3: "bad_request", 4: "bad_request", 5: "not_found", 6: "bad_request"} {
+		if r := resp.Results[i]; r.Err == nil || r.Err.Code != wantCode {
+			t.Fatalf("result %d = %+v, want %s error", i, r, wantCode)
+		}
+	}
+	// Two distinct keys in the batch, so exactly two resolver calls: the
+	// per-key cache amortizes lookup across the whole batch.
+	if resolves != 2 {
+		t.Fatalf("%d resolver calls, want 2", resolves)
+	}
+}
+
+// TestEvalBatchReusesResults: appending into a response with retained
+// capacity (the server's pooling pattern) neither clobbers earlier
+// results nor reallocates when capacity suffices.
+func TestEvalBatchReusesResults(t *testing.T) {
+	h := &hist.Histogram{N: 4, Buckets: []hist.Bucket{{Start: 0, End: 3, Rep: 1}}}
+	q := CompileHistogram(h)
+	resolve := func(BatchKey) (Querier, int, *OpError) { return q, h.N, nil }
+	req := &BatchRequest{Ops: []Op{{Op: OpEstimate, I: 1}}}
+	resp := &BatchResponse{Results: make([]OpResult, 0, 64)}
+	base := &resp.Results[:1][0]
+	for round := 0; round < 5; round++ {
+		resp.Results = resp.Results[:0]
+		EvalBatch(req, resolve, resp)
+		if len(resp.Results) != 1 || resp.Results[0].Value != 1 {
+			t.Fatalf("round %d: results %+v", round, resp.Results)
+		}
+		if &resp.Results[:1][0] != base {
+			t.Fatalf("round %d: results slice reallocated despite capacity", round)
+		}
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	if err := (&BatchRequest{}).Validate(); err == nil {
+		t.Fatal("empty batch validated")
+	}
+	big := &BatchRequest{Ops: make([]Op, MaxBatchOps+1)}
+	if err := big.Validate(); err == nil {
+		t.Fatal("oversized batch validated")
+	}
+	ok := &BatchRequest{Ops: make([]Op, 1)}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleEncodeResponse() {
+	resp := &BatchResponse{Results: []OpResult{{Value: 2.5}, {Err: &OpError{Code: "not_found", Message: "no synopsis"}}}}
+	var sb sortableBuf
+	_ = EncodeResponse(&sb, resp)
+	fmt.Print(sb.s)
+	// Output: {"results":[{"value":2.5},{"value":0,"error":{"code":"not_found","message":"no synopsis"}}]}
+}
+
+type sortableBuf struct{ s string }
+
+func (b *sortableBuf) Write(p []byte) (int, error) { b.s += string(p); return len(p), nil }

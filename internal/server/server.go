@@ -32,7 +32,18 @@
 //	                   estimate from the catalog.
 //	GET  /v1/rangesum  ?dataset=&family=&metric=&budget=&lo=&hi= — range
 //	                   estimate from the catalog.
+//	POST /v1/query     {ops: [{dataset, family, metric, budget, c?, op,
+//	                   i?, lo?, hi?}, ...]} — a batch of heterogeneous
+//	                   estimate/rangesum operations against one or many
+//	                   keys, answered in request order with per-op
+//	                   errors; one round trip amortizes parsing and key
+//	                   resolution across the whole batch.
 //	GET  /v1/synopses  — list catalog entries.
+//
+// All queries — the single GET endpoints and batches alike — answer
+// through the entry's compiled querier (internal/query), built once at
+// publish time: O(log) time and zero allocation per operation,
+// bit-identical to the synopsis's own methods.
 //
 // Mutations are serialized per dataset (builds of a dataset share a read
 // lock, mutations take the write lock), so a build admitted before an
@@ -63,6 +74,7 @@ import (
 	"probsyn/internal/catalog"
 	"probsyn/internal/engine"
 	"probsyn/internal/pdata"
+	"probsyn/internal/query"
 )
 
 // Config assembles a Server. Catalog and Pool are shared, process-wide
@@ -345,6 +357,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/rangesum", s.handleRangeSum)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/synopses", s.handleSynopses)
 	return mux
 }
@@ -725,7 +738,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "item %d outside domain [0, %d)", i, n)
 		return
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{Key: key, I: i, Estimate: entry.Synopsis.Estimate(i)})
+	writeJSON(w, http.StatusOK, EstimateResponse{Key: key, I: i, Estimate: entry.Querier.Estimate(i)})
 }
 
 func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
@@ -755,7 +768,79 @@ func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
 	// Clamp here and echo the clamped bounds, so the response never
 	// claims a sum over more domain than the synopsis covers.
 	lo, hi = max(lo, 0), min(hi, n-1)
-	writeJSON(w, http.StatusOK, RangeSumResponse{Key: key, Lo: lo, Hi: hi, Sum: entry.Synopsis.RangeSum(lo, hi)})
+	writeJSON(w, http.StatusOK, RangeSumResponse{Key: key, Lo: lo, Hi: hi, Sum: entry.Querier.RangeSum(lo, hi)})
+}
+
+// maxQueryBody bounds the POST /v1/query body: MaxBatchOps small ops fit
+// comfortably in 1 MiB, and anything larger should be split into several
+// batches rather than buffered whole.
+const maxQueryBody = 1 << 20
+
+// queryScratch is the pooled per-request state of the batch endpoint:
+// the decoded request, the response with its retained results slice, and
+// the buffer the response is serialized into. Pooling keeps the handler's
+// steady-state allocation per batch near zero — the querier calls
+// themselves allocate nothing.
+type queryScratch struct {
+	req  query.BatchRequest
+	resp query.BatchResponse
+	buf  bytes.Buffer
+}
+
+var queryPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// handleQuery answers a batch of estimate/rangesum operations in one
+// round trip. Operations fail individually (per-op errors with the same
+// stable codes as the single endpoints); only a malformed or oversized
+// body fails the request. The response bytes are query.EncodeResponse's
+// canonical serialization — byte-identical to psyn -query over the same
+// catalog.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sc := queryPool.Get().(*queryScratch)
+	defer queryPool.Put(sc)
+	sc.resp.Results = sc.resp.Results[:0]
+	sc.buf.Reset()
+	if _, err := sc.buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxQueryBody)); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad query body: %v", err)
+		return
+	}
+	// query.DecodeBatch, not encoding/json: the fast scanner decodes a
+	// canonical batch an order of magnitude cheaper than reflection, and
+	// it zeroes the pooled ops so nothing leaks between requests.
+	if err := query.DecodeBatch(sc.buf.Bytes(), &sc.req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad query body: %v", err)
+		return
+	}
+	if err := sc.req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	query.EvalBatch(&sc.req, s.resolveBatchKey, &sc.resp)
+	sc.buf.Reset()
+	_ = query.EncodeResponse(&sc.buf, &sc.resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.buf.Bytes())
+}
+
+// resolveBatchKey is the batch evaluator's key resolver: the same
+// canonicalization and defaulting as the single endpoints' lookup (an
+// omitted c means the server's -c default for relative-error metrics),
+// one catalog read per distinct key per batch.
+func (s *Server) resolveBatchKey(bk query.BatchKey) (query.Querier, int, *query.OpError) {
+	c := bk.C
+	if c == 0 {
+		c = s.cfg.C
+	}
+	key, err := catalog.NewKey(bk.Dataset, bk.Family, bk.Metric, bk.Budget, c)
+	if err != nil {
+		return nil, 0, &query.OpError{Code: CodeBadRequest, Message: err.Error()}
+	}
+	entry, ok := s.cfg.Catalog.Get(key)
+	if !ok {
+		return nil, 0, &query.OpError{Code: CodeNotFound, Message: fmt.Sprintf("no synopsis for %s (build it first)", key)}
+	}
+	return entry.Querier, entry.Synopsis.Domain(), nil
 }
 
 func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {

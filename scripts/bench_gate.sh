@@ -4,8 +4,9 @@
 #
 # Usage: bench_gate.sh <baseline.json> <fresh.json>
 #
-# Both files are bench_json.sh output. For every benchmark present in
-# BOTH files, the ns/op ratio fresh/baseline is checked:
+# Both files are bench_json.sh (or cmd/loadbench) output. For every
+# benchmark present in BOTH files, the ns/op ratio fresh/baseline is
+# checked:
 #
 #   > 2.0x  -> regression: reported and the script exits 1
 #   > 1.3x  -> warning: reported, exit status unaffected
@@ -16,10 +17,23 @@
 # come from a different machine class than the runner — the benches
 # that matter for regression detection (figure sweeps, DP builds,
 # frontier amortization) all run tens of milliseconds to seconds.
+#
+# Two rules are NOT subject to the noise floor, because they gate
+# determinism, not timing:
+#
+#   allocs_per_op  — a baseline of 0 allocs/op is a zero-allocation
+#                    contract (the serve hot path); any fresh run
+#                    allocating breaks it and fails the gate. Alloc
+#                    counts do not jitter.
+#   p99_ns         — loadbench tail latency; a > 4.0x blowup is
+#                    reported as a warning only (CI runner tails are
+#                    too noisy to hard-gate).
+#
 # Benchmarks present in only one file (added or removed this PR) are
 # listed but never gate. The thresholds are deliberately loose — this
 # is a backstop against accidental algorithmic regressions (a DP going
-# quadratic, a pool serializing), not a microbenchmark tribunal.
+# quadratic, a pool serializing, a hot path starting to allocate), not
+# a microbenchmark tribunal.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -28,13 +42,19 @@ if [ $# -ne 2 ]; then
 fi
 BASELINE=$1 FRESH=$2
 
-# Flatten "name"/"ns_per_op" pairs out of the one-object-per-line JSON
-# bench_json.sh writes.
+# Flatten "name ns allocs p99" rows out of the one-object-per-line JSON
+# bench_json.sh writes; missing optional fields become "-".
 extract() {
   awk 'match($0, /"name": "[^"]+"/) {
          name = substr($0, RSTART + 9, RLENGTH - 10)
+         ns = "-"; allocs = "-"; p99 = "-"
          if (match($0, /"ns_per_op": [0-9.eE+-]+/))
-           print name, substr($0, RSTART + 13, RLENGTH - 13)
+           ns = substr($0, RSTART + 13, RLENGTH - 13)
+         if (match($0, /"allocs_per_op": [0-9.eE+-]+/))
+           allocs = substr($0, RSTART + 17, RLENGTH - 17)
+         if (match($0, /"p99_ns": [0-9.eE+-]+/))
+           p99 = substr($0, RSTART + 10, RLENGTH - 10)
+         if (ns != "-") print name, ns, allocs, p99
        }' "$1"
 }
 
@@ -43,10 +63,21 @@ extract "$FRESH" > /tmp/bench_gate_fresh.$$
 trap 'rm -f /tmp/bench_gate_base.$$ /tmp/bench_gate_fresh.$$' EXIT
 
 awk -v floor=10000000 '
-  NR == FNR { base[$1] = $2; next }
+  NR == FNR { base[$1] = $2; balloc[$1] = $3; bp99[$1] = $4; next }
   {
     fresh[$1] = $2
     if (!($1 in base)) { added++; next }
+
+    # Zero-allocation contract: never skipped, allocs are exact.
+    if (balloc[$1] == "0" && $3 != "-" && $3 + 0 > 0) {
+      printf("ALLOC REGRESSION %s: 0 -> %s allocs/op (hot path now allocates)\n", $1, $3)
+      bad++
+    }
+
+    # Tail latency: warn only.
+    if (bp99[$1] != "-" && bp99[$1] + 0 > 0 && $4 != "-" && $4 / bp99[$1] > 4.0)
+      printf("warning    %s: p99 %.0f -> %.0f ns (%.2fx)\n", $1, bp99[$1], $4, $4 / bp99[$1])
+
     if (base[$1] < floor) { skipped++; next }
     ratio = $2 / base[$1]
     if (ratio > 2.0) {

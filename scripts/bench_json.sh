@@ -8,6 +8,12 @@
 # with the trailing -P GOMAXPROCS suffix stripped, so snapshots taken on
 # machines with different core counts compare by name (bench_gate.sh
 # relies on this).
+#
+# When the run used -benchmem, the "B/op" and "allocs/op" columns are
+# carried as "bytes_per_op" and "allocs_per_op" — bench_gate.sh uses
+# allocs_per_op to pin zero-allocation hot paths at zero. The columns
+# are located by their unit labels, not fixed positions, so lines with
+# extra metrics (MB/s) still parse.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -21,6 +27,11 @@ awk 'BEGIN { print "["; first = 1 }
        sub(/-[0-9]+$/, "", name)
        if (!first) printf(",\n")
        first = 0
-       printf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", name, $2, $3)
+       printf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, $3)
+       for (i = 4; i <= NF; i++) {
+         if ($i == "B/op")      printf(", \"bytes_per_op\": %s", $(i-1))
+         if ($i == "allocs/op") printf(", \"allocs_per_op\": %s", $(i-1))
+       }
+       printf("}")
      }
      END { print "\n]" }' "$1" > "$2"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# json_concat.sh — concatenate JSON arrays written one entry per line
+# (bench_json.sh and cmd/loadbench output) into a single array, so the
+# go-test benchmark results and the loadbench HTTP results land in one
+# snapshot for bench_gate.sh.
+#
+# Usage: json_concat.sh <out.json> <in.json>...
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 <out.json> <in.json>..." >&2
+  exit 2
+fi
+OUT=$1
+shift
+
+{
+  echo "["
+  for f in "$@"; do
+    # Drop the surrounding brackets, normalize indentation, and give
+    # every entry a trailing comma; the last comma is stripped below.
+    awk '/^\[[[:space:]]*$/ { next }
+         /^\][[:space:]]*$/ { next }
+         /\{/ { sub(/^[[:space:]]+/, ""); sub(/,[[:space:]]*$/, ""); print "  " $0 "," }' "$f"
+  done | sed '$ s/,$//'
+  echo "]"
+} > "$OUT"
