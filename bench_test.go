@@ -250,6 +250,36 @@ func BenchmarkWaveletUnrestrictedBuild(b *testing.B) {
 	})
 }
 
+// BenchmarkWaveletRestrictedApprox: the quantized restricted DP against
+// the exact one at the size where quantization starts paying — the exact
+// DP's incoming-value rows grow as 2^(l+1) up the tree while the grids
+// stay capped at q. The acceptance target is >= 5x over exact at n=4096,
+// B=32 (q=16); past this n the exact DP trips the state cap entirely and
+// only the quantized rows fit.
+func BenchmarkWaveletRestrictedApprox(b *testing.B) {
+	const n, B = 4096, 32
+	src := benchLinkage(n)
+	run := func(variant string, build func() error) {
+		b.Run(fmt.Sprintf("n=%d/B=%d/%s", n, B, variant), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("exact", func() error {
+		_, _, err := wavelet.BuildRestricted(src, metric.SAE, metric.Params{C: 0.5}, B)
+		return err
+	})
+	for _, q := range []int{16, 64} {
+		run(fmt.Sprintf("q=%d", q), func() error {
+			_, _, err := wavelet.BuildRestrictedApprox(src, metric.SAE, metric.Params{C: 0.5}, B, q)
+			return err
+		})
+	}
+}
+
 // --- budget-sweep frontiers ---------------------------------------------------
 
 // The frontier benchmarks prove the sweep's amortization: one DP run

@@ -23,6 +23,8 @@ type buildConfig struct {
 	wavelet     bool
 	quantize    int
 	quantizeSet bool
+	rquant      int
+	rquantSet   bool
 }
 
 // WithParams sets the metric parameters (the sanity constant c of the
@@ -95,6 +97,21 @@ func WithUnrestricted(q int) BuildOption {
 	return func(c *buildConfig) { c.quantize, c.quantizeSet = q, true }
 }
 
+// WithQuantize switches a wavelet build to the approximate restricted DP
+// (§4.2's bound-and-quantize argument): per-node incoming-value rows are
+// bucketed onto grids of q >= 2 points, capping the DP's state space at
+// O(n·q·B) instead of O(n²B²) so domains far beyond the exact DP's reach
+// build in seconds. The synopsis's reported cost is its exactly-evaluated
+// expected error — never below the exact optimum, within an additive
+// bound of it (surfaced on frontiers via ApproxBound), and converging to
+// it as q grows; q at least half the padded domain size is the exact DP.
+// Results stay bit-identical at any worker count. Requires WithWavelet
+// and a metric the restricted DP prices (not plain SSE, whose greedy
+// build is already exact); mutually exclusive with WithUnrestricted.
+func WithQuantize(q int) BuildOption {
+	return func(c *buildConfig) { c.rquant, c.rquantSet = q, true }
+}
+
 // Build is the unified synopsis constructor: it builds a B-term synopsis
 // of the requested family minimizing the metric's expected error over the
 // source's possible worlds, and returns it behind the shared Synopsis
@@ -138,6 +155,9 @@ func buildHistogram(src Source, m Metric, B int, cfg *buildConfig, pool *engine.
 	if cfg.quantizeSet {
 		return nil, fmt.Errorf("probsyn: unrestricted coefficient values are a wavelet option")
 	}
+	if cfg.rquantSet {
+		return nil, fmt.Errorf("probsyn: incoming-value quantization is a wavelet option")
+	}
 	o, err := histOracle(src, m, cfg)
 	if err != nil {
 		return nil, err
@@ -167,8 +187,16 @@ func buildWavelet(src Source, m Metric, B int, cfg *buildConfig, pool *engine.Po
 		return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
 	case cfg.epsSet:
 		return nil, fmt.Errorf("probsyn: the (1+eps)-approximate DP is a histogram option")
+	case cfg.quantizeSet && cfg.rquantSet:
+		return nil, fmt.Errorf("probsyn: WithQuantize (approximate restricted) and WithUnrestricted are mutually exclusive")
 	case cfg.quantizeSet:
 		syn, _, err := wavelet.BuildUnrestrictedPool(src, m, cfg.params, B, cfg.quantize, pool)
+		return syn, err
+	case cfg.rquantSet:
+		if m == SSE {
+			return nil, fmt.Errorf("probsyn: the SSE wavelet build is greedy-exact (Theorem 7); incoming-value quantization applies to the restricted DP metrics")
+		}
+		syn, _, err := wavelet.BuildRestrictedApproxPool(src, m, cfg.params, B, cfg.rquant, pool)
 		return syn, err
 	}
 	if m == SSE || m == SSEFixed {

@@ -7,12 +7,17 @@
 //
 //	experiments [flags] fig2a|fig2b|fig2c|fig2d|fig2e|fig2f|
 //	                    fig3a|fig3b|fig4a|fig4b|wavelet-dp|frontier|
-//	                    incremental|ablate-straddle|ablate-approx|all
+//	                    approx-frontier|incremental|ablate-straddle|
+//	                    ablate-approx|all
 //
 // The frontier mode emits Figure-4-style cost-vs-budget curves built the
 // cheap way — one DP run per family serves every budget (see
 // probsyn.BuildSweep) — as CSV on stdout and, with -frontier-json, as a
-// JSON file.
+// JSON file. The approx-frontier mode sweeps the quantized restricted
+// wavelet DP's grid size q at a fixed budget — seconds, true cost, and
+// the §4.2 additive bound per point, next to the exact restricted
+// baseline the costs converge to — the table to consult before picking q
+// for a domain the exact DP cannot reach.
 package main
 
 import (
@@ -44,7 +49,7 @@ var (
 	flagParallel = flag.Int("parallelism", 1, "DP worker goroutines for the histogram and wavelet DPs (<= 0: one per CPU); results are identical at any setting")
 	flagCatalog  = flag.String("catalog", "", "save the probabilistic synopses built by fig2*/wavelet-dp/frontier into this catalog directory (servable by psynd)")
 	flagFrontier = flag.String("frontier-json", "", "frontier mode: also write the series as JSON to this file")
-	flagQuantize = flag.Int("quantize", 0, "frontier mode: unrestricted wavelet quantization q (< 0: skip the unrestricted series)")
+	flagQuantize = flag.Int("quantize", 0, "frontier mode: unrestricted wavelet quantization q (< 0: skip the unrestricted series); approx-frontier mode: sweep only this grid size")
 )
 
 // workers resolves -parallelism to an explicit positive worker count, so
@@ -89,7 +94,7 @@ func saveCatalog() {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <figure>; figures: fig2a..fig2f fig3a fig3b fig4a fig4b wavelet-dp frontier ablate-straddle ablate-approx all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <figure>; figures: fig2a..fig2f fig3a fig3b fig4a fig4b wavelet-dp frontier approx-frontier incremental ablate-straddle ablate-approx all")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -106,13 +111,14 @@ func main() {
 		"fig4b":           fig4b,
 		"wavelet-dp":      waveletDP,
 		"frontier":        frontier,
+		"approx-frontier": approxFrontier,
 		"incremental":     incremental,
 		"ablate-straddle": ablateStraddle,
 		"ablate-approx":   ablateApprox,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f",
-			"fig3a", "fig3b", "fig4a", "fig4b", "wavelet-dp", "frontier", "incremental", "ablate-straddle", "ablate-approx"} {
+			"fig3a", "fig3b", "fig4a", "fig4b", "wavelet-dp", "frontier", "approx-frontier", "incremental", "ablate-straddle", "ablate-approx"} {
 			runners[name]()
 			fmt.Println()
 		}
@@ -361,6 +367,48 @@ func frontier() {
 		check(err)
 		check(os.WriteFile(*flagFrontier, append(blob, '\n'), 0o644))
 		fmt.Printf("# frontier: wrote JSON series to %s\n", *flagFrontier)
+	}
+}
+
+// approxFrontier sweeps the quantized restricted wavelet DP's accuracy
+// knob at a fixed budget: one build per grid size q, each reporting wall
+// time, the true (exactly-evaluated) cost of the synopsis it extracted,
+// and the §4.2 additive suboptimality bound. On domains small enough for
+// the exact restricted DP, that baseline runs first — the cost every
+// quantized point converges to as q grows. -quantize narrows the sweep
+// to a single grid size.
+func approxFrontier() {
+	n := 1024
+	if *flagFull {
+		n = 65536 // far past where the exact DP's state space fits
+	}
+	rng := rand.New(rand.NewSource(*flagSeed))
+	src := gen.MystiQLinkage(rng, gen.DefaultMystiQ(n))
+	qs := []int{4, 8, 16, 32, 64, 128}
+	if *flagQuantize > 0 {
+		qs = []int{*flagQuantize}
+	}
+	exp := &eval.ApproxFrontierExperiment{
+		Source: src,
+		Metric: metric.SAE,
+		Params: metric.Params{C: 0.5},
+		B:      32,
+		Qs:     qs,
+		Exact:  n <= 4096,
+		Pool:   pool(),
+	}
+	res, err := exp.Run()
+	check(err)
+	fmt.Printf("# approx-frontier: quantized restricted wavelet DP quality vs speed at B=%d; SAE c=0.5, n=%d, m=%d, workers=%d\n",
+		exp.B, n, src.M(), workers())
+	if exp.Exact {
+		fmt.Printf("# exact restricted baseline: cost %.6g in %.3fs\n", res.ExactCost, res.ExactSeconds)
+	} else {
+		fmt.Println("# exact restricted baseline skipped: state space exceeds the tree-DP cap at this n")
+	}
+	fmt.Println("q,seconds,cost,bound")
+	for _, pt := range res.Points {
+		fmt.Printf("%d,%.3f,%.6g,%.6g\n", pt.Q, pt.Seconds, pt.Cost, pt.Bound)
 	}
 }
 

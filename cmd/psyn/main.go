@@ -8,7 +8,8 @@
 //	psyn -input data.pd -metric SARE -c 1.0 -buckets 50 -approx 0.25
 //	psyn -input data.pd -metric SSE -buckets 64 -parallelism 0 -out h.syn
 //	psyn -input data.pd -wavelet -metric SAE -coeffs 32 -parallelism 0 -out w.json
-//	psyn -input data.pd -wavelet -metric SAE -coeffs 8 -quantize 2
+//	psyn -input big.pd -wavelet -metric SAE -coeffs 32 -quantize 64
+//	psyn -input data.pd -wavelet -metric SAE -coeffs 8 -quantize 2 -unrestricted
 //	psyn -in h.syn
 //
 // With -sweep, one DP run builds the whole budget frontier: the
@@ -78,7 +79,8 @@ func run(args []string, stdout io.Writer) error {
 		flagEqui     = fs.Bool("equidepth", false, "build the equi-depth heuristic instead of the optimal histogram")
 		flagWavelet  = fs.Bool("wavelet", false, "build a wavelet synopsis instead of a histogram")
 		flagCoeffs   = fs.Int("coeffs", 16, "wavelet coefficient budget")
-		flagQuant    = fs.Int("quantize", -1, "if >= 0, build the unrestricted wavelet DP with this quantization q (coefficient values optimized over 2q grid points plus the expected value; exponential in q and log n)")
+		flagQuant    = fs.Int("quantize", -1, "if >= 0, quantize the restricted wavelet DP's incoming values onto grids of q points (q >= 2; approximate, O(n q B) states, domains far beyond the exact DP build in seconds); with -unrestricted, instead optimize coefficient values over 2q grid points plus the expected value (exact over the grid, exponential in q and log n). Wavelet DP metrics only (not the greedy-exact SSE build, not histograms)")
+		flagUnres    = fs.Bool("unrestricted", false, "with -quantize: build the unrestricted wavelet thresholding DP instead of the quantized restricted one")
 		flagParallel = fs.Int("parallelism", 1, "DP worker goroutines for histogram and non-SSE wavelet builds (<= 0: one per CPU); output is identical at any setting (the SSE wavelet build is greedy and ignores it)")
 		flagOut      = fs.String("out", "", "save the built synopsis to this file (.json: JSON envelope, otherwise binary); with -sweep, a directory receiving one catalog file per budget")
 		flagIn       = fs.String("in", "", "load a saved synopsis instead of building one")
@@ -120,11 +122,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	p := probsyn.Params{C: *flagC}
 	opts := []probsyn.BuildOption{probsyn.WithParams(p), probsyn.WithParallelism(*flagParallel)}
+	if *flagUnres && *flagQuant < 0 {
+		return fmt.Errorf("-unrestricted needs -quantize q")
+	}
+	rquant := 0 // the restricted-DP grid size, when the approximate path is selected
 	if *flagQuant >= 0 {
 		if !*flagWavelet {
 			return fmt.Errorf("-quantize is a wavelet option (add -wavelet)")
 		}
-		opts = append(opts, probsyn.WithUnrestricted(*flagQuant))
+		if *flagUnres {
+			opts = append(opts, probsyn.WithUnrestricted(*flagQuant))
+		} else {
+			opts = append(opts, probsyn.WithQuantize(*flagQuant))
+			rquant = *flagQuant
+		}
 	}
 
 	if *flagAppend != "" {
@@ -148,12 +159,12 @@ func run(args []string, stdout io.Writer) error {
 			budget = *flagCoeffs
 			opts = append(opts, probsyn.WithWavelet())
 		}
-		return runSweep(stdout, src, m, p, budget, dataset, *flagOut, opts)
+		return runSweep(stdout, src, m, p, budget, dataset, *flagOut, rquant, opts)
 	}
 
 	var syn probsyn.Synopsis
 	if *flagWavelet {
-		syn, err = buildWavelet(stdout, src, m, *flagCoeffs, *flagQuant, opts)
+		syn, err = buildWavelet(stdout, src, m, *flagCoeffs, *flagQuant, *flagUnres, opts)
 	} else {
 		syn, err = buildHistogram(stdout, src, m, p, *flagBuckets, *flagApprox, *flagEqui, opts)
 	}
@@ -232,6 +243,9 @@ func runAppend(stdout io.Writer, src probsyn.Source, appendPath, dataset, outDir
 		}
 		if group[0].Family == catalog.FamilyWavelet {
 			opts = append(opts, probsyn.WithWavelet())
+			if group[0].Q > 0 {
+				opts = append(opts, probsyn.WithQuantize(group[0].Q))
+			}
 		}
 		live, err := probsyn.BuildLive(base, m, gmax, opts...)
 		if err != nil {
@@ -300,7 +314,7 @@ func runQuery(stdout io.Writer, reqPath, catalogDir string, c float64) error {
 		if kc == 0 {
 			kc = c // the -c default, exactly as psynd defaults its -c
 		}
-		key, err := catalog.NewKey(bk.Dataset, bk.Family, bk.Metric, bk.Budget, kc)
+		key, err := catalog.NewKeyQ(bk.Dataset, bk.Family, bk.Metric, bk.Budget, kc, bk.Q)
 		if err != nil {
 			return nil, 0, &query.OpError{Code: "bad_request", Message: err.Error()}
 		}
@@ -321,7 +335,7 @@ func runQuery(stdout io.Writer, reqPath, catalogDir string, c float64) error {
 // cost-vs-budget curve, and (with -out) persists every budget as a
 // key-encoded catalog file — the same files psynd writes for a
 // /v1/sweep, byte-identical to single-budget builds.
-func runSweep(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.Params, budget int, dataset, outDir string, opts []probsyn.BuildOption) error {
+func runSweep(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.Params, budget int, dataset, outDir string, rquant int, opts []probsyn.BuildOption) error {
 	fr, err := probsyn.BuildSweep(src, m, budget, opts...)
 	if err != nil {
 		return err
@@ -332,6 +346,9 @@ func runSweep(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.
 		}
 	}
 	fmt.Fprintf(stdout, "frontier over n=%d: budgets 1..%d from one DP run\n", src.Domain(), fr.Bmax())
+	if rquant > 0 {
+		fmt.Fprintf(stdout, "quantized restricted DP (q=%d): every cost within %.6g of its restricted optimum\n", rquant, probsyn.ApproxBound(fr))
+	}
 	fmt.Fprintln(stdout, "budget,terms,cost")
 	written := 0
 	for b := 1; b <= fr.Bmax(); b++ {
@@ -347,7 +364,7 @@ func runSweep(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.
 		if _, ok := syn.(*probsyn.WaveletSynopsis); ok {
 			family = catalog.FamilyWavelet
 		}
-		key, err := catalog.NewKey(dataset, family, m.String(), b, p.C)
+		key, err := catalog.NewKeyQ(dataset, family, m.String(), b, p.C, rquant)
 		if err != nil {
 			return err
 		}
@@ -399,8 +416,8 @@ func buildHistogram(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p pr
 	return h, nil
 }
 
-func buildWavelet(stdout io.Writer, src probsyn.Source, m probsyn.Metric, coeffs, quantize int, opts []probsyn.BuildOption) (probsyn.Synopsis, error) {
-	if quantize >= 0 {
+func buildWavelet(stdout io.Writer, src probsyn.Source, m probsyn.Metric, coeffs, quantize int, unrestricted bool, opts []probsyn.BuildOption) (probsyn.Synopsis, error) {
+	if quantize >= 0 && unrestricted {
 		// Unrestricted DP: coefficient values optimized over quantized
 		// candidate grids (already selected via WithUnrestricted in opts).
 		s, err := probsyn.Build(src, m, coeffs, append(opts, probsyn.WithWavelet())...)
@@ -410,6 +427,28 @@ func buildWavelet(stdout io.Writer, src probsyn.Source, m probsyn.Metric, coeffs
 		syn := s.(*probsyn.WaveletSynopsis)
 		fmt.Fprintf(stdout, "unrestricted (q=%d) %v wavelet synopsis over n=%d (padded %d): %d coefficients, expected error %.6g\n",
 			quantize, m, src.Domain(), syn.N, syn.B(), syn.Cost)
+		printCoeffs(stdout, syn)
+		return syn, nil
+	}
+	if quantize >= 0 {
+		// Quantized restricted DP: build through the frontier (bit-identical
+		// to probsyn.Build, per the sweep guarantee) so the §4.2 additive
+		// suboptimality bound can be reported alongside the true cost.
+		fr, err := probsyn.BuildSweep(src, m, coeffs, append(opts, probsyn.WithWavelet())...)
+		if err != nil {
+			return nil, err
+		}
+		b := coeffs
+		if bm := fr.Bmax(); b > bm {
+			b = bm
+		}
+		s, err := fr.Synopsis(b)
+		if err != nil {
+			return nil, err
+		}
+		syn := s.(*probsyn.WaveletSynopsis)
+		fmt.Fprintf(stdout, "quantized restricted (q=%d) %v wavelet synopsis over n=%d (padded %d): %d coefficients, expected error %.6g (within %.6g of the restricted optimum)\n",
+			quantize, m, src.Domain(), syn.N, syn.B(), syn.Cost, probsyn.ApproxBound(fr))
 		printCoeffs(stdout, syn)
 		return syn, nil
 	}

@@ -228,16 +228,30 @@ func TestRunSweepRejectsHeuristics(t *testing.T) {
 	}
 }
 
-// -quantize routes the wavelet build through the unrestricted DP (never
-// worse than the restricted optimum) and requires -wavelet.
+// -quantize alone routes the wavelet build through the quantized
+// restricted DP (reporting its additive error bound); with -unrestricted
+// it selects the unrestricted thresholding DP. Both require -wavelet.
 func TestRunQuantize(t *testing.T) {
 	dir := t.TempDir()
 	dataset, _ := writeDataset(t, dir)
-	if err := run([]string{"-input", dataset, "-metric", "SAE", "-quantize", "1"}, io.Discard); err == nil {
+	if err := run([]string{"-input", dataset, "-metric", "SAE", "-quantize", "4"}, io.Discard); err == nil {
 		t.Fatal("-quantize without -wavelet succeeded, want error")
 	}
+	if err := run([]string{"-input", dataset, "-unrestricted"}, io.Discard); err == nil {
+		t.Fatal("-unrestricted without -quantize succeeded, want error")
+	}
+	if err := run([]string{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "3", "-quantize", "1"}, io.Discard); err == nil {
+		t.Fatal("quantized restricted build with q=1 succeeded, want error (grids need q >= 2)")
+	}
 	var out bytes.Buffer
-	if err := run([]string{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "3", "-quantize", "1"}, &out); err != nil {
+	if err := run([]string{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "3", "-quantize", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "quantized restricted (q=4)") || !strings.Contains(out.String(), "of the restricted optimum") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-input", dataset, "-wavelet", "-metric", "SAE", "-coeffs", "3", "-quantize", "1", "-unrestricted"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "unrestricted (q=1)") {
@@ -286,13 +300,18 @@ func TestRunAppend(t *testing.T) {
 	if err := run([]string{"-input", basePath, "-sweep", "-dataset", "vds", "-wavelet", "-metric", "SAE", "-coeffs", "3", "-out", outDir}, &out); err != nil {
 		t.Fatal(err)
 	}
+	// A quantized restricted sweep catalogs under q-tagged keys, next to
+	// the exact wavelet entries of the same metric and budgets.
+	if err := run([]string{"-input", basePath, "-sweep", "-dataset", "vds", "-wavelet", "-metric", "SAE", "-coeffs", "3", "-quantize", "4", "-out", outDir}, &out); err != nil {
+		t.Fatal(err)
+	}
 
 	merged := filepath.Join(dir, "merged.pd")
 	out.Reset()
 	if err := run([]string{"-input", basePath, "-append", morePath, "-dataset", "vds", "-out", outDir, "-save-data", merged}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "revalidated 7 synopses") {
+	if !strings.Contains(out.String(), "revalidated 10 synopses") {
 		t.Fatalf("append output:\n%s", out.String())
 	}
 
@@ -316,6 +335,9 @@ func TestRunAppend(t *testing.T) {
 	if err := run([]string{"-input", mergedPath, "-sweep", "-dataset", "vds", "-wavelet", "-metric", "SAE", "-coeffs", "3", "-out", freshDir}, &out); err != nil {
 		t.Fatal(err)
 	}
+	if err := run([]string{"-input", mergedPath, "-sweep", "-dataset", "vds", "-wavelet", "-metric", "SAE", "-coeffs", "3", "-quantize", "4", "-out", freshDir}, &out); err != nil {
+		t.Fatal(err)
+	}
 	des, err := os.ReadDir(freshDir)
 	if err != nil {
 		t.Fatal(err)
@@ -335,8 +357,8 @@ func TestRunAppend(t *testing.T) {
 		}
 		checked++
 	}
-	if checked != 7 {
-		t.Fatalf("checked %d files, want 7", checked)
+	if checked != 10 {
+		t.Fatalf("checked %d files, want 10", checked)
 	}
 
 	// -save-data round trip.

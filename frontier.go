@@ -51,6 +51,9 @@ func BuildSweep(src Source, m Metric, Bmax int, opts ...BuildOption) (Frontier, 
 	if cfg.quantizeSet {
 		return nil, fmt.Errorf("probsyn: unrestricted coefficient values are a wavelet option")
 	}
+	if cfg.rquantSet {
+		return nil, fmt.Errorf("probsyn: incoming-value quantization is a wavelet option")
+	}
 	o, err := histOracle(src, m, &cfg)
 	if err != nil {
 		return nil, err
@@ -66,8 +69,15 @@ func buildWaveletSweep(src Source, m Metric, Bmax int, cfg *buildConfig, pool *e
 	switch {
 	case cfg.weights != nil:
 		return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
+	case cfg.quantizeSet && cfg.rquantSet:
+		return nil, fmt.Errorf("probsyn: WithQuantize (approximate restricted) and WithUnrestricted are mutually exclusive")
 	case cfg.quantizeSet:
 		return wavelet.SweepUnrestrictedPool(src, m, cfg.params, Bmax, cfg.quantize, pool)
+	case cfg.rquantSet:
+		if m == SSE {
+			return nil, fmt.Errorf("probsyn: the SSE wavelet build is greedy-exact (Theorem 7); incoming-value quantization applies to the restricted DP metrics")
+		}
+		return wavelet.SweepRestrictedApproxPool(src, m, cfg.params, Bmax, cfg.rquant, pool)
 	case m == SSE || m == SSEFixed:
 		return wavelet.SweepSSE(src, Bmax)
 	default:
@@ -107,4 +117,20 @@ func (f waveletFrontier) Synopsis(b int) (Synopsis, error) {
 		return nil, err
 	}
 	return syn, nil
+}
+
+// ErrorBound reports the additive suboptimality bound of a quantized
+// sweep (0 for exact ones); see ApproxBound.
+func (f waveletFrontier) ErrorBound() float64 { return f.sw.ErrorBound() }
+
+// ApproxBound returns the additive suboptimality bound of a frontier
+// built by an approximate DP: every extracted synopsis's reported cost
+// (its exactly-evaluated expected error) is within the bound of the
+// exact optimum at that budget. Exact frontiers — and frontier types
+// that carry no bound — return 0.
+func ApproxBound(f Frontier) float64 {
+	if b, ok := f.(interface{ ErrorBound() float64 }); ok {
+		return b.ErrorBound()
+	}
+	return 0
 }

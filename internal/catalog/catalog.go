@@ -47,6 +47,12 @@ type Key struct {
 	// optimize different objectives and must not be served
 	// interchangeably.
 	C float64 `json:"c,omitempty"`
+	// Q is the approximate restricted wavelet DP's incoming-value grid
+	// size (0 = exact build). Exact and quantized builds of the same
+	// (dataset, metric, budget) are different synopses — the quantized
+	// one carries bounded suboptimality — so they catalog under distinct
+	// keys and coexist.
+	Q int `json:"q,omitempty"`
 }
 
 // NewKey canonicalizes and validates the fields of a key: the metric is
@@ -75,25 +81,60 @@ func NewKey(dataset, family, metricName string, budget int, c float64) (Key, err
 	return Key{Dataset: dataset, Family: family, Metric: k.String(), Budget: budget, C: c}, nil
 }
 
+// NewKeyQ is NewKey for quantized builds: q is the approximate restricted
+// wavelet DP's grid size. q == 0 is an exact build (identical to NewKey);
+// otherwise q must be >= 2, the family must be wavelet, and the metric
+// must be one the restricted DP prices (not plain SSE, whose greedy build
+// is already exact), mirroring probsyn.WithQuantize's validation so an
+// unkeyable build is rejected at the key, before any work runs.
+func NewKeyQ(dataset, family, metricName string, budget int, c float64, q int) (Key, error) {
+	key, err := NewKey(dataset, family, metricName, budget, c)
+	if err != nil || q == 0 {
+		return key, err
+	}
+	if q < 2 {
+		return Key{}, fmt.Errorf("catalog: quantization q = %d, want 0 (exact) or >= 2", q)
+	}
+	if family != FamilyWavelet {
+		return Key{}, fmt.Errorf("catalog: incoming-value quantization is a wavelet option, not a %s one", family)
+	}
+	if key.Metric == metric.SSE.String() {
+		return Key{}, fmt.Errorf("catalog: the SSE wavelet build is greedy-exact; quantization applies to the restricted DP metrics")
+	}
+	key.Q = q
+	return key, nil
+}
+
 // String renders the key in its canonical human-readable form.
 func (k Key) String() string {
+	m := k.Metric
 	if k.C != 0 {
-		return fmt.Sprintf("%s/%s/%s(c=%g)/%d", k.Dataset, k.Family, k.Metric, k.C, k.Budget)
+		m += fmt.Sprintf("(c=%g)", k.C)
 	}
-	return fmt.Sprintf("%s/%s/%s/%d", k.Dataset, k.Family, k.Metric, k.Budget)
+	if k.Q != 0 {
+		m += fmt.Sprintf("(q=%d)", k.Q)
+	}
+	return fmt.Sprintf("%s/%s/%s/%d", k.Dataset, k.Family, m, k.Budget)
 }
 
 // Filename encodes the key as a catalog filename:
-// <dataset>--<family>--<metric>[--c<C>]--b<budget>.psyn, with the
+// <dataset>--<family>--<metric>[--c<C>][--q<Q>]--b<budget>.psyn, with the
 // dataset percent-escaped so arbitrary names cannot collide with the
 // separators or escape the directory. The c segment appears exactly for
 // relative-error metrics, so builds under different sanity constants
-// land in different files.
+// land in different files; the q segment appears exactly for quantized
+// builds, so an approximate synopsis can never shadow the exact one.
 func (k Key) Filename() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s--%s--%s", url.PathEscape(k.Dataset), k.Family, k.Metric)
 	if k.C != 0 {
-		return fmt.Sprintf("%s--%s--%s--c%g--b%d.psyn", url.PathEscape(k.Dataset), k.Family, k.Metric, k.C, k.Budget)
+		fmt.Fprintf(&sb, "--c%g", k.C)
 	}
-	return fmt.Sprintf("%s--%s--%s--b%d.psyn", url.PathEscape(k.Dataset), k.Family, k.Metric, k.Budget)
+	if k.Q != 0 {
+		fmt.Fprintf(&sb, "--q%d", k.Q)
+	}
+	fmt.Fprintf(&sb, "--b%d.psyn", k.Budget)
+	return sb.String()
 }
 
 // ParseFilename inverts Filename. Files that do not follow the encoding
@@ -104,7 +145,7 @@ func ParseFilename(name string) (Key, error) {
 	if !ok {
 		return Key{}, fmt.Errorf("catalog: %q is not a catalog file (want .psyn)", name)
 	}
-	// Family, metric, the optional c, and budget never contain the
+	// Family, metric, the optional c and q, and budget never contain the
 	// separator, so they are the trailing segments; anything before them
 	// (an escaped dataset name may itself contain "--") rejoins into the
 	// dataset.
@@ -116,12 +157,19 @@ func ParseFilename(name string) (Key, error) {
 	if err != nil {
 		return Key{}, fmt.Errorf("catalog: filename %q: bad budget: %w", name, err)
 	}
-	c, tail := 0.0, 2 // trailing segments after family: metric [c] budget
-	if seg := parts[len(parts)-2]; strings.HasPrefix(seg, "c") {
+	q, tail := 0, 2 // trailing segments after family: metric [c] [q] budget
+	if seg := parts[len(parts)-2]; strings.HasPrefix(seg, "q") {
+		if q, err = strconv.Atoi(seg[1:]); err != nil {
+			return Key{}, fmt.Errorf("catalog: filename %q: bad quantization: %w", name, err)
+		}
+		tail = 3
+	}
+	c := 0.0
+	if seg := parts[len(parts)-tail]; strings.HasPrefix(seg, "c") {
 		if c, err = strconv.ParseFloat(seg[1:], 64); err != nil {
 			return Key{}, fmt.Errorf("catalog: filename %q: bad sanity constant: %w", name, err)
 		}
-		tail = 3
+		tail++
 	}
 	if len(parts) < tail+2 {
 		return Key{}, fmt.Errorf("catalog: filename %q does not encode a key", name)
@@ -130,13 +178,13 @@ func ParseFilename(name string) (Key, error) {
 	if err != nil {
 		return Key{}, fmt.Errorf("catalog: filename %q: %w", name, err)
 	}
-	key, err := NewKey(dataset, parts[len(parts)-tail-1], parts[len(parts)-tail], budget, c)
+	key, err := NewKeyQ(dataset, parts[len(parts)-tail-1], parts[len(parts)-tail], budget, c, q)
 	if err != nil {
 		return Key{}, err
 	}
 	// A c segment on a non-relative metric (or a missing one on a
-	// relative metric) is not a name Filename produces; reject it so the
-	// round trip stays injective.
+	// relative metric), or c and q out of order, is not a name Filename
+	// produces; reject it so the round trip stays injective.
 	if key.Filename() != name {
 		return Key{}, fmt.Errorf("catalog: filename %q does not round-trip its key %v", name, key)
 	}
@@ -244,6 +292,9 @@ func (c *Catalog) List() []*Entry {
 		}
 		if ka.C != kb.C {
 			return ka.C < kb.C
+		}
+		if ka.Q != kb.Q {
+			return ka.Q < kb.Q
 		}
 		return ka.Budget < kb.Budget
 	})

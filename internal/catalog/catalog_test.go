@@ -67,15 +67,55 @@ func TestNewKeyCanonicalizesAndValidates(t *testing.T) {
 	}
 }
 
+func TestNewKeyQValidates(t *testing.T) {
+	k, err := NewKeyQ("d", FamilyWavelet, "SAE", 8, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Q != 16 {
+		t.Fatalf("Q = %d, want 16", k.Q)
+	}
+	exact, err := NewKeyQ("d", FamilyWavelet, "SAE", 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := NewKey("d", FamilyWavelet, "SAE", 8, 0); exact != want {
+		t.Fatalf("q=0 key %+v != NewKey %+v", exact, want)
+	}
+	bad := []struct {
+		family, metric string
+		c              float64
+		q              int
+	}{
+		{FamilyWavelet, "SAE", 0, 1},   // q must be 0 or >= 2
+		{FamilyWavelet, "SAE", 0, -3},  // negative q
+		{FamilyHistogram, "SAE", 0, 4}, // quantization is wavelet-only
+		{FamilyWavelet, "SSE", 0, 4},   // SSE wavelet build is greedy-exact
+		{FamilyWavelet, "bogus", 0, 4}, // NewKey validation still applies
+		{FamilyWavelet, "SSRE", 0, 4},  // relative metric still needs c
+	}
+	for _, b := range bad {
+		if _, err := NewKeyQ("d", b.family, b.metric, 8, b.c, b.q); err == nil {
+			t.Errorf("NewKeyQ(%q, %q, c=%g, q=%d) accepted", b.family, b.metric, b.c, b.q)
+		}
+	}
+	// SSE-fixed is a restricted-DP metric and must key fine.
+	if _, err := NewKeyQ("d", FamilyWavelet, "SSE-fixed", 8, 0, 4); err != nil {
+		t.Fatalf("SSE-fixed with q: %v", err)
+	}
+}
+
 func TestFilenameRoundTrip(t *testing.T) {
 	keys := []Key{
 		{Dataset: "data", Family: FamilyHistogram, Metric: "SSE", Budget: 8},
 		{Dataset: "weird--name/v2", Family: FamilyWavelet, Metric: "SSE-fixed", Budget: 100},
 		{Dataset: "dots.and spaces", Family: FamilyHistogram, Metric: "MARE", Budget: 1, C: 0.5},
 		{Dataset: "d", Family: FamilyWavelet, Metric: "SSRE", Budget: 3, C: 1.25},
+		{Dataset: "big--domain", Family: FamilyWavelet, Metric: "SAE", Budget: 32, Q: 64},
+		{Dataset: "d", Family: FamilyWavelet, Metric: "SARE", Budget: 5, C: 0.5, Q: 16},
 	}
 	for _, k := range keys {
-		canon, err := NewKey(k.Dataset, k.Family, k.Metric, k.Budget, k.C)
+		canon, err := NewKeyQ(k.Dataset, k.Family, k.Metric, k.Budget, k.C, k.Q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,8 +133,13 @@ func TestFilenameRoundTrip(t *testing.T) {
 	}
 	for _, bad := range []string{
 		"x.syn", "a--b.psyn", "a--b--c--8.psyn", "a--histogram--SSE--bx.psyn",
-		"a--histogram--SSRE--b2.psyn",      // relative metric without its c segment
-		"a--histogram--SSE--c0.5--b2.psyn", // c segment on a metric that ignores it
+		"a--histogram--SSRE--b2.psyn",         // relative metric without its c segment
+		"a--histogram--SSE--c0.5--b2.psyn",    // c segment on a metric that ignores it
+		"a--histogram--SAE--q4--b2.psyn",      // q segment on a histogram key
+		"a--wavelet--SSE--q4--b2.psyn",        // q segment on the greedy-exact SSE build
+		"a--wavelet--SAE--q1--b2.psyn",        // q below the minimum grid size
+		"a--wavelet--SAE--qx--b2.psyn",        // malformed q
+		"a--wavelet--SARE--q4--c0.5--b2.psyn", // c and q out of canonical order
 	} {
 		if _, err := ParseFilename(bad); err == nil {
 			t.Errorf("ParseFilename(%q) accepted", bad)

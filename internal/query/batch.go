@@ -30,6 +30,10 @@ type BatchKey struct {
 	Metric  string  `json:"metric"`
 	Budget  int     `json:"budget"`
 	C       float64 `json:"c,omitempty"`
+	// Q selects a quantized (approximate restricted DP) wavelet build;
+	// 0 queries the exact synopsis. Exact and quantized entries coexist
+	// under distinct catalog keys, so the querying side must say which.
+	Q int `json:"q,omitempty"`
 }
 
 // The two operation kinds.

@@ -160,6 +160,8 @@ func (s *batchScanner) scanOp(op *Op) bool {
 			op.Budget, ok = s.scanInt()
 		case "c":
 			op.C, ok = s.scanFloat()
+		case "q":
+			op.Q, ok = s.scanInt()
 		case "i":
 			op.I, ok = s.scanInt()
 		case "lo":

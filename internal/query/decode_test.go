@@ -93,6 +93,8 @@ func TestDecodeBatchMatchesStdlibCorpus(t *testing.T) {
 		`{"ops":[{"dataset":"ds","family":"histogram","metric":"SSE","budget":8,"op":"estimate","i":42}]}`,
 		`{"ops":[{"dataset":"ds","budget":8,"op":"rangesum","lo":-3,"hi":17,"c":0.5}]}`,
 		`{"ops":[{"c":1e3},{"c":0.25},{"c":2.5e-2},{"c":-0.125}]}`,
+		`{"ops":[{"dataset":"ds","family":"wavelet","metric":"SAE","budget":8,"q":16,"op":"estimate","i":1}]}`,
+		`{"ops":[{"q":0},{"q":-4},{"q":2.5}]}`, // float into q: stdlib error
 		`{"ops":[{"i":0},{"i":-0},{"budget":1000000000}]}`,
 		`{"Ops":[{"i":1}]}`,                    // case-variant top-level member
 		`{"ops":[{"Dataset":"ds"}]}`,           // case-variant op member
@@ -139,7 +141,7 @@ func FuzzDecodeBatch(f *testing.F) {
 // the JSON omits, so a request decoded into reused capacity must not
 // inherit field values from the previous request — on either path.
 func TestDecodeBatchClearsPooledOps(t *testing.T) {
-	full := []byte(`{"ops":[{"dataset":"ds","family":"histogram","metric":"SSE","budget":8,"c":0.5,"op":"rangesum","i":9,"lo":3,"hi":7}]}`)
+	full := []byte(`{"ops":[{"dataset":"ds","family":"histogram","metric":"SSE","budget":8,"c":0.5,"q":4,"op":"rangesum","i":9,"lo":3,"hi":7}]}`)
 	sparseFast := []byte(`{"ops":[{"op":"estimate"}]}`)
 	sparseFallback := []byte(`{"ops":[{"op":"estimate","unknown":1}]}`) // unknown member forces the stdlib path
 	for name, sparse := range map[string][]byte{"fast": sparseFast, "fallback": sparseFallback} {

@@ -17,6 +17,7 @@ import (
 	"probsyn/internal/catalog"
 	"probsyn/internal/engine"
 	"probsyn/internal/pdata"
+	"probsyn/internal/query"
 )
 
 // valueDataset builds the deterministic value-pdf dataset the mutation
@@ -125,13 +126,13 @@ func assertCatalogMatchesOfflineRebuild(t *testing.T, catDir string, want *pdata
 			continue
 		}
 		keys = append(keys, key)
-		lk := liveKey{dataset: dataset, family: key.Family, metric: key.Metric, c: key.C}
+		lk := liveKey{dataset: dataset, family: key.Family, metric: key.Metric, c: key.C, q: key.Q}
 		if key.Budget > maxBudget[lk] {
 			maxBudget[lk] = key.Budget
 		}
 	}
 	for _, key := range keys {
-		lk := liveKey{dataset: dataset, family: key.Family, metric: key.Metric, c: key.C}
+		lk := liveKey{dataset: dataset, family: key.Family, metric: key.Metric, c: key.C, q: key.Q}
 		fr, ok := sweeps[lk]
 		if !ok {
 			m, err := probsyn.ParseMetric(key.Metric)
@@ -141,6 +142,9 @@ func assertCatalogMatchesOfflineRebuild(t *testing.T, catDir string, want *pdata
 			opts := []probsyn.BuildOption{probsyn.WithParams(probsyn.Params{C: key.C})}
 			if key.Family == catalog.FamilyWavelet {
 				opts = append(opts, probsyn.WithWavelet())
+				if key.Q > 0 {
+					opts = append(opts, probsyn.WithQuantize(key.Q))
+				}
 			}
 			if fr, err = probsyn.BuildSweep(want, m, maxBudget[lk], opts...); err != nil {
 				t.Fatal(err)
@@ -234,6 +238,110 @@ func TestAppendRevalidatesCatalog(t *testing.T) {
 		t.Fatalf("update republished %d, want 5", ok.Republished)
 	}
 	want.Items[3] = pdata.ItemPDF{Entries: []pdata.FreqProb{{Freq: 1, Prob: 0.25}, {Freq: 3, Prob: 0.25}}}
+	assertCatalogMatchesOfflineRebuild(t, catDir, want, "vds", 0.5)
+}
+
+// TestQuantizedEntriesCoexistAndRevalidate: a quantized (approximate
+// restricted DP) wavelet build catalogs under its own key next to the
+// exact build of the same dataset/metric/budget, serves through the
+// lookup and batch paths when the querier says q, persists byte-identical
+// to the offline quantized build, and revalidates through its own
+// retained quantized live frontier on mutation.
+func TestQuantizedEntriesCoexistAndRevalidate(t *testing.T) {
+	catDir := t.TempDir()
+	_, ts, vp := newValueFixture(t, Config{CatalogDir: catDir, C: 0.5})
+	const q = 4
+
+	if resp, _, bad := postBuild(t, ts, BuildRequest{Dataset: "vds", Family: "wavelet", Metric: "SAE", Budget: 4, Wait: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact build: %d %v", resp.StatusCode, bad)
+	}
+	if resp, _, bad := postBuild(t, ts, BuildRequest{Dataset: "vds", Family: "wavelet", Metric: "SAE", Budget: 4, Quantize: q, Wait: true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("quantized build: %d %v", resp.StatusCode, bad)
+	}
+
+	// Both entries coexist, and the quantized catalog file is
+	// byte-identical to the offline quantized build.
+	exact, err := probsyn.Build(vp, probsyn.SAE, 4, probsyn.WithWavelet(), probsyn.WithParams(probsyn.Params{C: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := probsyn.Build(vp, probsyn.SAE, 4, probsyn.WithWavelet(), probsyn.WithQuantize(q), probsyn.WithParams(probsyn.Params{C: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qkey, err := catalog.NewKeyQ("vds", catalog.FamilyWavelet, "SAE", 4, 0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(catDir, qkey.Filename()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlob, err := probsyn.MarshalSynopsis(approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, wantBlob) {
+		t.Fatal("persisted quantized envelope differs from the offline quantized build")
+	}
+
+	// The lookup path routes on &q=: without it the exact synopsis
+	// answers, with it the quantized one.
+	for i := 0; i < vp.N; i += 5 {
+		var er EstimateResponse
+		base := fmt.Sprintf("%s/v1/estimate?dataset=vds&family=wavelet&metric=SAE&budget=4&i=%d", ts.URL, i)
+		if resp := getJSON(t, base, &er); resp.StatusCode != http.StatusOK {
+			t.Fatalf("exact estimate: %d", resp.StatusCode)
+		}
+		if er.Estimate != exact.Estimate(i) {
+			t.Fatalf("exact Estimate(%d) = %v, offline %v", i, er.Estimate, exact.Estimate(i))
+		}
+		if resp := getJSON(t, base+fmt.Sprintf("&q=%d", q), &er); resp.StatusCode != http.StatusOK {
+			t.Fatalf("quantized estimate: %d", resp.StatusCode)
+		}
+		if er.Estimate != approx.Estimate(i) {
+			t.Fatalf("quantized Estimate(%d) = %v, offline %v", i, er.Estimate, approx.Estimate(i))
+		}
+	}
+
+	// The batch path routes on the op's q member the same way.
+	resp, got, bad := postQuery(t, ts, query.BatchRequest{Ops: []query.Op{
+		{BatchKey: query.BatchKey{Dataset: "vds", Family: "wavelet", Metric: "SAE", Budget: 4}, Op: query.OpEstimate, I: 7},
+		{BatchKey: query.BatchKey{Dataset: "vds", Family: "wavelet", Metric: "SAE", Budget: 4, Q: q}, Op: query.OpEstimate, I: 7},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %v", resp.StatusCode, bad)
+	}
+	if got.Results[0].Value != exact.Estimate(7) || got.Results[1].Value != approx.Estimate(7) {
+		t.Fatalf("batch routed wrong entries: %v / %v, want %v / %v",
+			got.Results[0].Value, got.Results[1].Value, exact.Estimate(7), approx.Estimate(7))
+	}
+
+	// Unkeyable quantized requests are rejected before any work runs.
+	for _, req := range []BuildRequest{
+		{Dataset: "vds", Family: "histogram", Metric: "SSE", Budget: 4, Quantize: q},
+		{Dataset: "vds", Family: "wavelet", Metric: "SSE", Budget: 4, Quantize: q},
+		{Dataset: "vds", Family: "wavelet", Metric: "SAE", Budget: 4, Quantize: 1},
+	} {
+		if resp, _, _ := postBuild(t, ts, req); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("build %+v: status %d, want 400", req, resp.StatusCode)
+		}
+	}
+
+	// A mutation republishes both entries — the quantized one through its
+	// own quantized live frontier, byte-identical to an offline quantized
+	// rebuild over the mutated data.
+	item := ItemPDFWire{Entries: []FreqProbWire{{Freq: 3, Prob: 0.5}}}
+	mresp, ok, mbad := postMutate(t, ts, "/v1/append", MutateRequest{Dataset: "vds", Items: []ItemPDFWire{item}, Wait: true})
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d %v", mresp.StatusCode, mbad)
+	}
+	if ok.Republished != 2 {
+		t.Fatalf("republished %d entries, want 2", ok.Republished)
+	}
+	want := vp.Clone()
+	want.Items = append(want.Items, item.toPDF())
+	want.N = len(want.Items)
 	assertCatalogMatchesOfflineRebuild(t, catDir, want, "vds", 0.5)
 }
 

@@ -182,10 +182,13 @@ type jobKey struct {
 }
 
 // liveKey identifies one maintainable frontier: every cataloged budget
-// of the tuple shares one retained DP state.
+// of the tuple shares one retained DP state. q distinguishes quantized
+// (approximate restricted wavelet) frontiers from exact ones — they
+// retain different DP state and must never serve each other's keys.
 type liveKey struct {
 	dataset, family, metric string
 	c                       float64
+	q                       int
 }
 
 // liveState is a retained live frontier plus the budget it was requested
@@ -374,6 +377,12 @@ type BuildRequest struct {
 	// server's -c default. Ignored (zeroed in the key) for metrics that
 	// do not use it.
 	C float64 `json:"c,omitempty"`
+	// Quantize > 0 requests the approximate restricted wavelet DP on
+	// grids of that many points (>= 2): domains far beyond the exact
+	// DP's reach build in seconds, at a bounded additive cost penalty.
+	// The grid size is part of the catalog key, so exact and quantized
+	// synopses of the same dataset/metric/budget coexist.
+	Quantize int `json:"quantize,omitempty"`
 	// Wait makes the request synchronous: the response arrives after the
 	// queued build completes (or fails).
 	Wait bool `json:"wait,omitempty"`
@@ -518,7 +527,7 @@ func (s *Server) handleBuildLike(w http.ResponseWriter, r *http.Request, sweep b
 	if c == 0 {
 		c = s.cfg.C // the server's default sanity constant
 	}
-	key, err := catalog.NewKey(req.Dataset, req.Family, req.Metric, req.Budget, c)
+	key, err := catalog.NewKeyQ(req.Dataset, req.Family, req.Metric, req.Budget, c, req.Quantize)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
@@ -832,7 +841,7 @@ func (s *Server) resolveBatchKey(bk query.BatchKey) (query.Querier, int, *query.
 	if c == 0 {
 		c = s.cfg.C
 	}
-	key, err := catalog.NewKey(bk.Dataset, bk.Family, bk.Metric, bk.Budget, c)
+	key, err := catalog.NewKeyQ(bk.Dataset, bk.Family, bk.Metric, bk.Budget, c, bk.Q)
 	if err != nil {
 		return nil, 0, &query.OpError{Code: CodeBadRequest, Message: err.Error()}
 	}
@@ -871,7 +880,14 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (catalog.Key, *c
 			return catalog.Key{}, nil, false
 		}
 	}
-	key, err := catalog.NewKey(q.Get("dataset"), q.Get("family"), q.Get("metric"), budget, c)
+	quant := 0 // optional &q= selects a quantized build's entry
+	if raw := q.Get("q"); raw != "" {
+		if quant, err = strconv.Atoi(raw); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad q %q", raw)
+			return catalog.Key{}, nil, false
+		}
+	}
+	key, err := catalog.NewKeyQ(q.Get("dataset"), q.Get("family"), q.Get("metric"), budget, c, quant)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return catalog.Key{}, nil, false
@@ -913,6 +929,9 @@ func (s *Server) build(key catalog.Key) error {
 	}
 	if key.Family == catalog.FamilyWavelet {
 		opts = append(opts, probsyn.WithWavelet())
+		if key.Q > 0 {
+			opts = append(opts, probsyn.WithQuantize(key.Q))
+		}
 	}
 	syn, err := probsyn.Build(src, m, key.Budget, opts...)
 	if err != nil {
@@ -965,6 +984,9 @@ func (s *Server) buildSweep(key catalog.Key) error {
 	}
 	if key.Family == catalog.FamilyWavelet {
 		opts = append(opts, probsyn.WithWavelet())
+		if key.Q > 0 {
+			opts = append(opts, probsyn.WithQuantize(key.Q))
+		}
 	}
 	fr, err := probsyn.BuildSweep(src, m, key.Budget, opts...)
 	if err != nil {
@@ -1061,7 +1083,7 @@ func (s *Server) mutate(mu *mutation) (domain, republished int, err error) {
 	keys := s.datasetKeys(mu.dataset)
 	republish := func() error {
 		for _, group := range catalog.GroupKeys(keys[republished:]) {
-			lk := liveKey{dataset: mu.dataset, family: group[0].Family, metric: group[0].Metric, c: group[0].C}
+			lk := liveKey{dataset: mu.dataset, family: group[0].Family, metric: group[0].Metric, c: group[0].C, q: group[0].Q}
 			gmax := 0
 			for _, k := range group {
 				if k.Budget > gmax {
@@ -1152,6 +1174,9 @@ func (s *Server) liveFor(lk liveKey, gmax int, data *pdata.ValuePDF) (ls *liveSt
 	}
 	if lk.family == catalog.FamilyWavelet {
 		opts = append(opts, probsyn.WithWavelet())
+		if lk.q > 0 {
+			opts = append(opts, probsyn.WithQuantize(lk.q))
+		}
 	}
 	live, err := probsyn.BuildLive(data, m, gmax, opts...)
 	if err != nil {

@@ -98,7 +98,12 @@ type Live struct {
 // maintenance. Mutations are defined over the value-pdf model, so the
 // source must be a *pdata.ValuePDF — convert other models with
 // pdata.AsValuePDF first if the induced-marginal semantics is acceptable.
-// q is the unrestricted family's quantization and ignored otherwise.
+// q is the unrestricted family's candidate quantization; for the
+// restricted family it is the incoming-value grid size (0 = exact DP,
+// q >= 2 = quantized approximate DP, see SweepRestrictedApproxPool) —
+// repairs and resweeps then replay mutations on the same quantized
+// grids, so the maintained state keeps matching a fresh quantized sweep
+// bit for bit. Ignored by the SSE family.
 func NewLive(src pdata.Source, family LiveFamily, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Live, error) {
 	vp, ok := src.(*pdata.ValuePDF)
 	if !ok {
@@ -109,6 +114,9 @@ func NewLive(src pdata.Source, family LiveFamily, kind metric.Kind, p metric.Par
 	}
 	if family == LiveUnrestrictedFamily && q < 0 {
 		return nil, fmt.Errorf("wavelet: negative quantization %d", q)
+	}
+	if family == LiveRestrictedFamily && q != 0 && q < 2 {
+		return nil, fmt.Errorf("wavelet: quantized restricted maintenance needs q = 0 (exact) or q >= 2, got %d", q)
 	}
 	if err := vp.Validate(); err != nil {
 		return nil, err
@@ -153,7 +161,10 @@ func (lv *Live) Cost(b int) float64 {
 	if lv.costs == nil {
 		costs := make([]float64, lv.bmax)
 		for bb := 1; bb <= lv.bmax; bb++ {
-			if lv.family != LiveSSEFamily && lv.d != nil {
+			// The quantized DP's table objective is approximate, so its
+			// frontier reports the extractions' exactly-evaluated costs
+			// (matching the quantized Sweep's costs).
+			if lv.family != LiveSSEFamily && lv.d != nil && lv.d.quant == 0 {
 				costs[bb-1] = lv.d.cost(bb)
 			} else {
 				costs[bb-1] = lv.at(bb).Cost
@@ -162,6 +173,17 @@ func (lv *Live) Cost(b int) float64 {
 		lv.costs = costs
 	}
 	return lv.costs[b-1]
+}
+
+// ErrorBound returns the additive suboptimality bound of the maintained
+// frontier under the current data: 0 for exact families, the quantized
+// restricted DP's bound otherwise (see Sweep.ErrorBound). Recomputed on
+// demand — mutations move it.
+func (lv *Live) ErrorBound() float64 {
+	if lv.d != nil {
+		return lv.d.errorBound()
+	}
+	return 0
 }
 
 // Synopsis extracts the optimal budget-b synopsis, 1 <= b <= Bmax,
@@ -417,7 +439,11 @@ func changedCandidates(a, b [][]float64) []int {
 
 // rebuildDP re-runs the forward sweep over the current pe/cands.
 func (lv *Live) rebuildDP() error {
-	d, err := newTreeDP(lv.n, lv.bmax, lv.cands, lv.pe, lv.kind.Cumulative(), lv.pool)
+	quant := 0
+	if lv.family == LiveRestrictedFamily {
+		quant = lv.q
+	}
+	d, err := newTreeDP(lv.n, lv.bmax, lv.cands, lv.pe, lv.kind.Cumulative(), quant, lv.pool)
 	if err != nil {
 		return err
 	}
@@ -479,7 +505,11 @@ func (lv *Live) at(b int) *Synopsis {
 	default:
 		keep, best := lv.d.extract(b)
 		syn := synopsisFromChoices(lv.n, keep)
-		syn.Cost = best
+		if lv.d.quant > 0 {
+			syn.Cost = lv.pe.SynopsisError(syn)
+		} else {
+			syn.Cost = best
+		}
 		return syn
 	}
 }

@@ -44,7 +44,11 @@ func freshSweep(t *testing.T, vp *pdata.ValuePDF, family LiveFamily, k metric.Ki
 	case LiveSSEFamily:
 		sw, err = SweepSSE(vp, B)
 	case LiveRestrictedFamily:
-		sw, err = SweepRestrictedPool(vp, k, p, B, pool)
+		if q > 0 {
+			sw, err = SweepRestrictedApproxPool(vp, k, p, B, q, pool)
+		} else {
+			sw, err = SweepRestrictedPool(vp, k, p, B, pool)
+		}
 	default:
 		sw, err = SweepUnrestrictedPool(vp, k, p, B, q, pool)
 	}
@@ -93,6 +97,9 @@ func TestLiveWaveletMatchesFresh(t *testing.T) {
 		{"sse", LiveSSEFamily, metric.SSE, 0},
 		{"restricted", LiveRestrictedFamily, metric.SAE, 0},
 		{"restricted-max", LiveRestrictedFamily, metric.MAE, 0},
+		// q=4 keeps the finest level genuinely quantized at n=16 (and
+		// stays quantized after appends regrow the tree to n=32).
+		{"restricted-approx", LiveRestrictedFamily, metric.SAE, 4},
 		{"unrestricted", LiveUnrestrictedFamily, metric.SAE, 1},
 	}
 	for _, tc := range cases {
@@ -178,6 +185,36 @@ func TestLiveDirtyPathFastPath(t *testing.T) {
 	if got := lv.FastRepairs(); got != 1 {
 		t.Fatalf("mean-changing update claimed the fast path (FastRepairs = %d)", got)
 	}
+}
+
+// TestLiveQuantizedDirtyPathFastPath pins the quantized analogue: the
+// retained grids depend only on strict-ancestor candidates, so a
+// mean-preserving correction repairs the dirty path blocks on the
+// existing grids — no re-bucketing, and still byte-identical to a fresh
+// quantized sweep.
+func TestLiveQuantizedDirtyPathFastPath(t *testing.T) {
+	p := metric.Params{C: 0.5}
+	rng := rand.New(rand.NewSource(5))
+	vp := liveRandVP(rng, 16)
+	vp.Items[9] = pdata.ItemPDF{Entries: []pdata.FreqProb{{Freq: 2, Prob: 0.5}}}
+	const q = 4
+	lv, err := NewLive(vp, LiveRestrictedFamily, metric.SAE, p, 5, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.ErrorBound() <= 0 {
+		t.Fatalf("quantized live frontier reports bound %v, want > 0", lv.ErrorBound())
+	}
+	corrected := pdata.ItemPDF{Entries: []pdata.FreqProb{{Freq: 1, Prob: 0.25}, {Freq: 3, Prob: 0.25}}}
+	if err := lv.Update(9, corrected); err != nil {
+		t.Fatal(err)
+	}
+	if got := lv.FastRepairs(); got != 1 {
+		t.Fatalf("mean-preserving update took the slow path (FastRepairs = %d)", got)
+	}
+	cur := vp.Clone()
+	cur.Items[9] = corrected.Clone()
+	assertLiveMatchesSweep(t, lv, freshSweep(t, cur, LiveRestrictedFamily, metric.SAE, p, 5, q, nil), "quantized-fast-path")
 }
 
 // TestLiveSmallDomains exercises the singleton and n==2 special cases

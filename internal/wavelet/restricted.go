@@ -2,6 +2,7 @@ package wavelet
 
 import (
 	"fmt"
+	"math"
 
 	"probsyn/internal/engine"
 	"probsyn/internal/haar"
@@ -113,6 +114,22 @@ func (pe *PointErrors) Err(i int, v float64) float64 {
 // Cumulative reports whether the evaluator's metric sums over items.
 func (pe *PointErrors) Cumulative() bool { return pe.kind.Cumulative() }
 
+// errSlack bounds |Err(i, v') - Err(i, v)| for any v, v' inside [lo, hi]
+// at distance |v' - v| <= delta: delta times the error function's
+// Lipschitz constant over the interval. The squared family's derivative
+// 2(vz - y) is monotone in v (z >= 0), so the constant sits at an
+// endpoint; the absolute family is piecewise linear with slope
+// 2·wle - totW, bounded by totW in magnitude.
+func (pe *PointErrors) errSlack(i int, lo, hi, delta float64) float64 {
+	switch pe.kind {
+	case metric.SSEFixed, metric.SSRE:
+		m := math.Max(math.Abs(pe.z[i]*lo-pe.y[i]), math.Abs(pe.z[i]*hi-pe.y[i]))
+		return 2 * m * delta
+	default:
+		return pe.totW[i] * delta
+	}
+}
+
 // SynopsisError evaluates the expected error of an arbitrary synopsis under
 // the evaluator's metric: Σ_i E[err(g_i, rec_i)] for cumulative metrics,
 // max_i for maximum metrics.
@@ -163,6 +180,30 @@ func BuildRestrictedWorkers(src pdata.Source, kind metric.Kind, p metric.Params,
 // any worker count.
 func BuildRestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B int, pool *engine.Pool) (*Synopsis, float64, error) {
 	sw, err := SweepRestrictedPool(src, kind, p, B, pool)
+	if err != nil {
+		return nil, 0, err
+	}
+	syn := sw.at(min(B, sw.bmax))
+	return syn, syn.Cost, nil
+}
+
+// BuildRestrictedApprox solves the restricted problem approximately with
+// incoming values quantized onto per-node grids of q >= 2 points (§4.2's
+// bound-and-quantize argument): the DP's state space drops from O(n²B²)
+// to O(n·q·B), reaching domains the exact DP cannot, at a bounded
+// additive suboptimality (see Sweep.ErrorBound). The returned cost is
+// the synopsis's exactly-evaluated expected error, so it is never below
+// the exact optimum and converges to it as q grows; q at least half the
+// padded domain size degenerates to the exact DP. Results are
+// bit-identical at any worker count.
+func BuildRestrictedApprox(src pdata.Source, kind metric.Kind, p metric.Params, B, q int) (*Synopsis, float64, error) {
+	return BuildRestrictedApproxPool(src, kind, p, B, q, nil)
+}
+
+// BuildRestrictedApproxPool is BuildRestrictedApprox scheduled on an
+// explicit engine pool (nil means serial).
+func BuildRestrictedApproxPool(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Synopsis, float64, error) {
+	sw, err := SweepRestrictedApproxPool(src, kind, p, B, q, pool)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -28,11 +28,18 @@ type Sweep struct {
 	costs []float64 // costs[b-1]: optimal expected error at budget b
 	at    func(b int) *Synopsis
 	pool  *engine.Pool
+	bound float64 // additive suboptimality bound; 0 for exact sweeps
 }
 
 // Bmax returns the largest budget the sweep covers (the build budget,
 // clamped to the padded domain size).
 func (s *Sweep) Bmax() int { return s.bmax }
+
+// ErrorBound returns the additive suboptimality bound of a quantized
+// sweep: every extracted synopsis's expected error (its Cost, evaluated
+// exactly) is within ErrorBound of the exact optimum at that budget.
+// Exact sweeps return 0.
+func (s *Sweep) ErrorBound() float64 { return s.bound }
 
 // Cost returns the optimal expected error at budget b (clamped to
 // [1, Bmax]), without materializing the synopsis. A zero-budget sweep
@@ -82,6 +89,33 @@ func SweepRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B int)
 // once at budget B and returns the whole frontier: every budget b <= B is
 // a backtrack away, bit-identical to BuildRestrictedPool at budget b.
 func SweepRestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B int, pool *engine.Pool) (*Sweep, error) {
+	return sweepRestricted(src, kind, p, B, 0, pool)
+}
+
+// SweepRestrictedApprox is SweepRestrictedApproxPool with a nil pool.
+func SweepRestrictedApprox(src pdata.Source, kind metric.Kind, p metric.Params, B, q int) (*Sweep, error) {
+	return SweepRestrictedApproxPool(src, kind, p, B, q, nil)
+}
+
+// SweepRestrictedApproxPool runs the restricted DP with incoming values
+// quantized onto per-node grids of q >= 2 points (§4.2's bound-and-
+// quantize argument), capping the state space at O(n·q·B) so domains far
+// beyond the exact DP's reach build in seconds. Every extracted synopsis
+// carries its exactly-evaluated expected error as Cost, and ErrorBound
+// bounds the gap to the exact optimum. Extraction at budget b <= B stays
+// bit-identical to an independent quantized build at budget b (and at
+// any worker count); q at least half the padded domain size degenerates
+// to the exact DP.
+func SweepRestrictedApproxPool(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Sweep, error) {
+	if q < 2 {
+		return nil, fmt.Errorf("wavelet: quantized restricted sweep needs q >= 2, got %d", q)
+	}
+	return sweepRestricted(src, kind, p, B, q, pool)
+}
+
+// sweepRestricted is the shared restricted-DP frontier: exact when q is
+// 0, incoming-value quantized when q >= 2.
+func sweepRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Sweep, error) {
 	if B < 0 {
 		return nil, fmt.Errorf("wavelet: negative budget %d", B)
 	}
@@ -106,7 +140,7 @@ func SweepRestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, B 
 	for j := range cands {
 		cands[j] = cvals[j : j+1]
 	}
-	return dpSweep(n, B, cands, pe, kind.Cumulative(), pool)
+	return dpSweep(n, B, cands, pe, kind.Cumulative(), q, pool)
 }
 
 // SweepUnrestricted is SweepUnrestrictedPool with a nil (serial) pool.
@@ -140,7 +174,7 @@ func SweepUnrestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, 
 			return unrestrictedSingleton(pe, cands[0], b)
 		}), nil
 	}
-	return dpSweep(n, B, cands, pe, kind.Cumulative(), pool)
+	return dpSweep(n, B, cands, pe, kind.Cumulative(), 0, pool)
 }
 
 // SweepSSE is the frontier of the greedy SSE-optimal build (Theorem 7):
@@ -189,23 +223,37 @@ func SweepSSE(src pdata.Source, B int) (*Sweep, error) {
 }
 
 // dpSweep runs the shared tree DP once and wraps its tables as a Sweep.
-func dpSweep(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, pool *engine.Pool) (*Sweep, error) {
-	d, err := newTreeDP(n, B, cands, pe, cumulative, pool)
+// In quantized mode the DP table's objective is only approximate, so
+// extraction re-evaluates each synopsis exactly (its Cost is the true
+// expected error — never below the exact optimum, since the synopsis is
+// a feasible exact solution) and the sweep carries the DP's additive
+// suboptimality bound.
+func dpSweep(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, quant int, pool *engine.Pool) (*Sweep, error) {
+	d, err := newTreeDP(n, B, cands, pe, cumulative, quant, pool)
 	if err != nil {
 		return nil, err
 	}
+	at := func(b int) *Synopsis {
+		keep, best := d.extract(b)
+		syn := synopsisFromChoices(n, keep)
+		if d.quant > 0 {
+			syn.Cost = pe.SynopsisError(syn)
+		} else {
+			syn.Cost = best
+		}
+		return syn
+	}
 	costs := make([]float64, B)
 	for b := 1; b <= B; b++ {
-		costs[b-1] = d.cost(b)
+		if d.quant > 0 {
+			costs[b-1] = at(b).Cost
+		} else {
+			costs[b-1] = d.cost(b)
+		}
 	}
 	return &Sweep{
-		n: n, bmax: B, costs: costs, pool: d.pool,
-		at: func(b int) *Synopsis {
-			keep, best := d.extract(b)
-			syn := synopsisFromChoices(n, keep)
-			syn.Cost = best
-			return syn
-		},
+		n: n, bmax: B, costs: costs, pool: d.pool, at: at,
+		bound: d.errorBound(),
 	}, nil
 }
 

@@ -36,6 +36,21 @@ import (
 // are recomputed inline from PointErrors both by its parents' sweep and
 // by the backtrack, which re-derives every argmin decision from the kept
 // level tables.
+//
+// Quantized mode (restricted DP only). Exact ancestor-decision state
+// counts double per level — 2^(l+1) states per node at level l — which is
+// what makes the restricted DP O(n²B²). With quant = q > 0, any level
+// whose per-node exact count would exceed q instead keeps q states per
+// node: a uniform grid of q incoming values spanning the node's analytic
+// value bounds (the paper's §4.2 "bound and quantize" argument). A
+// transition into a quantized level snaps the exact child value v±w to
+// the nearest grid point; everything else — decision order, tie-breaks,
+// the budget convolution — is unchanged, so quantized results stay
+// bit-identical at any worker count and across sweep extractions for the
+// same reason exact ones do. The DP's internal objective is then only
+// approximate; extraction re-evaluates the chosen synopsis exactly
+// (PointErrors.SynopsisError) and errorBound() bounds the gap to the
+// exact optimum.
 
 // maxTreeStates bounds one level's ancestor-decision state count. The
 // restricted DP stays quadratic (2^depth states over 2^depth nodes at the
@@ -54,6 +69,7 @@ type treeDP struct {
 	n          int // padded domain size, power of two, >= 2
 	levels     int // log2 n: detail levels of the error tree
 	B          int // coefficient budget ("at most B"), already clamped to n
+	quant      int // incoming-value grid size per node; 0 = exact
 	cands      [][]float64
 	pe         *PointErrors
 	cumulative bool
@@ -64,6 +80,15 @@ type treeDP struct {
 	res  [][]float64 // res[l]: flat [state][0..bcap[l]] blocks
 	offs [][]int     // offs[l][i]: first state of node 2^l+i; last entry = level total
 	bcap []int       // bcap[l] = min(B, subtree coefficient count)
+
+	// Quantized mode only (quant > 0): each state's incoming value, and
+	// the per-node analytic value bounds and grid steps the snapped
+	// transitions bucket against. Exact mode keeps none of this, so its
+	// memory profile is unchanged.
+	vals  [][]float64 // vals[l][state]: incoming value (grid or exact)
+	blo   [][]float64 // blo[l][i], bhi[l][i]: incoming-value bounds of node 2^l+i
+	bhi   [][]float64
+	gstep [][]float64 // gstep[l][i]: grid step on quantized levels, else 0
 }
 
 // newTreeDP executes the shared DP's forward level sweeps through the
@@ -74,7 +99,13 @@ type treeDP struct {
 // index b' is computed only from child entries at budgets <= b', so the
 // prefix of each table up to b is identical to the table a budget-b DP
 // would have built — one forward run serves the whole budget frontier.
-func newTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, pool *engine.Pool) (*treeDP, error) {
+//
+// quant > 0 selects quantized mode (restricted candidate shape only —
+// exactly one candidate per coefficient): per-node incoming-value rows
+// are capped at quant grid states. A grid at least as fine as the
+// largest exact level changes nothing, so quant >= 2^(levels-1) is
+// normalized to exact mode and yields bit-identical results.
+func newTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, quant int, pool *engine.Pool) (*treeDP, error) {
 	if pool == nil {
 		pool = engine.Serial()
 	}
@@ -82,15 +113,33 @@ func newTreeDP(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, po
 		n: n, levels: bits.Len(uint(n)) - 1, B: B,
 		cands: cands, pe: pe, cumulative: cumulative, pool: pool,
 	}
+	if quant > 0 {
+		if quant < 2 {
+			return nil, fmt.Errorf("wavelet: incoming-value quantization needs q >= 2, got %d", quant)
+		}
+		for _, cs := range cands {
+			if len(cs) != 1 {
+				return nil, fmt.Errorf("wavelet: quantized incoming values require the restricted candidate shape (one candidate per coefficient)")
+			}
+		}
+		if quant >= 1<<(d.levels-1) {
+			quant = 0
+		}
+	}
+	d.quant = quant
 	if d.levels == 1 {
 		return d, nil // n == 2: extract enumerates the two nodes directly
 	}
 	if err := d.layout(); err != nil {
 		return nil, err
 	}
-	vals := d.incomingValues()
 	d.res = make([][]float64, d.levels-1)
-	d.solveLevel(d.levels-2, vals)
+	if d.quant > 0 {
+		d.buildGrids()
+		d.solveLevel(d.levels-2, nil)
+	} else {
+		d.solveLevel(d.levels-2, d.incomingValues())
+	}
 	for l := d.levels - 3; l >= 0; l-- {
 		d.solveLevel(l, nil)
 	}
@@ -107,8 +156,13 @@ func (d *treeDP) combine(a, b float64) float64 {
 // br returns node j's branch count: drop, or retain at one candidate.
 func (d *treeDP) br(j int) int { return 1 + len(d.cands[j]) }
 
+// lq reports whether level l's per-node states sit on a quantized grid:
+// its exact ancestor-decision count 2^(l+1) would exceed the grid size.
+func (d *treeDP) lq(l int) bool { return d.quant > 0 && 1<<(l+1) > d.quant }
+
 // layout computes the per-level state offsets and budget caps, rejecting
-// state spaces beyond maxTreeStates.
+// state spaces beyond maxTreeStates. In quantized mode per-node counts
+// are capped at quant.
 func (d *treeDP) layout() error {
 	L := d.levels
 	d.offs = make([][]int, L-1)
@@ -122,7 +176,7 @@ func (d *treeDP) layout() error {
 			offs[i] = total
 			total += c
 			if total > maxTreeStates {
-				return fmt.Errorf("wavelet: coefficient-tree DP needs more than %d states at level %d; reduce the domain or the quantization", maxTreeStates, l)
+				return d.stateOverflowErr(l, levelTotal(counts))
 			}
 		}
 		offs[len(counts)] = total
@@ -134,14 +188,71 @@ func (d *treeDP) layout() error {
 		for i, c := range counts {
 			b := d.br((1 << l) + i)
 			if c > maxTreeStates/b {
-				return fmt.Errorf("wavelet: coefficient-tree DP needs more than %d states at level %d; reduce the domain or the quantization", maxTreeStates, l+1)
+				need := 0.0
+				for i2, c2 := range counts {
+					need += 2 * float64(c2) * float64(d.br((1<<l)+i2))
+				}
+				return d.stateOverflowErr(l+1, need)
 			}
-			next[2*i] = c * b
-			next[2*i+1] = c * b
+			cb := c * b
+			if d.quant > 0 && cb > d.quant {
+				cb = d.quant
+			}
+			next[2*i] = cb
+			next[2*i+1] = cb
 		}
 		counts = next
 	}
 	return nil
+}
+
+// levelTotal sums per-node state counts in float64, so an overflowing
+// demand can still be reported exactly as computed.
+func levelTotal(counts []int) float64 {
+	t := 0.0
+	for _, c := range counts {
+		t += float64(c)
+	}
+	return t
+}
+
+// stateOverflowErr builds the maxTreeStates diagnostic: the level that
+// overflowed, the state count it actually needs, and the largest
+// quantization that would fit. The finest kept level L-2 has 2^(L-2)
+// nodes, so a quantized restricted DP holds at most 2^(L-2)·q states per
+// level; the unrestricted DP's per-node branch count is at most 2q+2
+// (drop + mean + 2q grid candidates), giving ~2^(L-2)·(2q+2)^(L-1)
+// states at the finest kept level.
+func (d *treeDP) stateOverflowErr(l int, need float64) error {
+	msg := fmt.Sprintf("wavelet: coefficient-tree DP needs %.4g states at level %d, over the %d cap", need, l, maxTreeStates)
+	restricted := true
+	for _, cs := range d.cands {
+		if len(cs) != 1 {
+			restricted = false
+			break
+		}
+	}
+	if restricted {
+		qfit := 0
+		if s := d.levels - 2; s >= 0 && s < 62 {
+			qfit = maxTreeStates >> s
+		}
+		switch {
+		case qfit >= 2 && d.quant > 0:
+			return fmt.Errorf("%s; reduce the quantization to q <= %d", msg, qfit)
+		case qfit >= 2:
+			return fmt.Errorf("%s; a quantized build with q <= %d fits", msg, qfit)
+		default:
+			return fmt.Errorf("%s; the domain is too large for any quantization", msg)
+		}
+	}
+	if d.levels >= 2 {
+		bstar := math.Pow(float64(maxTreeStates)/math.Pow(2, float64(d.levels-2)), 1/float64(d.levels-1))
+		if q := int((bstar - 2) / 2); q >= 1 {
+			return fmt.Errorf("%s; reduce the candidate quantization to q <= %d", msg, q)
+		}
+	}
+	return fmt.Errorf("%s; reduce the domain", msg)
 }
 
 // incomingValues returns, for every state of the last internal level, the
@@ -179,6 +290,98 @@ func (d *treeDP) incomingValues() []float64 {
 		cur = next
 	}
 	return cur
+}
+
+// buildGrids materializes, for every kept level, each state's incoming
+// value, plus the per-node analytic value bounds and the grid steps the
+// quantized transitions snap against. Bounds accumulate top-down — a
+// child of node j with candidate w widens its parent's interval by w's
+// contribution on that side — so every reachable incoming value, exact
+// or already snapped, stays inside them. Exact (non-quantized) levels
+// enumerate ancestor decisions with the same v±w recurrence
+// incomingValues uses; a quantized level instead lays quant evenly
+// spaced grid points per node across that node's bounds.
+func (d *treeDP) buildGrids() {
+	L := d.levels
+	d.vals = make([][]float64, L-1)
+	d.blo = make([][]float64, L-1)
+	d.bhi = make([][]float64, L-1)
+	d.gstep = make([][]float64, L-1)
+	for l := 0; l <= L-2; l++ {
+		nn := 1 << l
+		d.blo[l] = make([]float64, nn)
+		d.bhi[l] = make([]float64, nn)
+		d.gstep[l] = make([]float64, nn)
+		d.vals[l] = make([]float64, d.offs[l][nn])
+	}
+	w0 := d.cands[0][0]
+	d.blo[0][0] = math.Min(0, w0)
+	d.bhi[0][0] = math.Max(0, w0)
+	for l := 0; l <= L-2; l++ {
+		for i := 0; i < 1<<l; i++ {
+			base := d.offs[l][i]
+			cnt := d.offs[l][i+1] - base
+			switch {
+			case d.lq(l):
+				lo := d.blo[l][i]
+				step := (d.bhi[l][i] - lo) / float64(d.quant-1)
+				d.gstep[l][i] = step
+				for k := 0; k < cnt; k++ {
+					d.vals[l][base+k] = lo + float64(k)*step
+				}
+			case l == 0:
+				d.vals[0][1] = w0 // state 0 drops c0: incoming value 0
+			default:
+				// Exact level: the parent level is exact too
+				// (quantization only deepens), so enumerate its states
+				// against the parent node's single candidate.
+				pi := i >> 1
+				pj := (1 << (l - 1)) + pi
+				w := d.cands[pj][0]
+				if i&1 == 1 {
+					w = -w
+				}
+				pbase := d.offs[l-1][pi]
+				pcnt := d.offs[l-1][pi+1] - pbase
+				for s := 0; s < pcnt; s++ {
+					v := d.vals[l-1][pbase+s]
+					d.vals[l][base+2*s] = v
+					d.vals[l][base+2*s+1] = v + w
+				}
+			}
+		}
+		if l == L-2 {
+			break
+		}
+		for i := 0; i < 1<<l; i++ {
+			w := d.cands[(1<<l)+i][0]
+			lo, hi := d.blo[l][i], d.bhi[l][i]
+			d.blo[l+1][2*i] = lo + math.Min(0, w)
+			d.bhi[l+1][2*i] = hi + math.Max(0, w)
+			d.blo[l+1][2*i+1] = lo - math.Max(0, w)
+			d.bhi[l+1][2*i+1] = hi - math.Min(0, w)
+		}
+	}
+}
+
+// snap buckets incoming value v onto the level-l grid of the node with
+// local index i: the index of the nearest of the quant evenly spaced
+// points spanning the node's bounds. Pure float arithmetic on (v, the
+// node's fixed bounds) — independent of worker count and call site, so
+// forward sweeps, repairs, and backtracks bucket identically.
+func (d *treeDP) snap(l, i int, v float64) int {
+	step := d.gstep[l][i]
+	if step == 0 {
+		return 0
+	}
+	k := int(math.Round((v - d.blo[l][i]) / step))
+	if k < 0 {
+		return 0
+	}
+	if k >= d.quant {
+		return d.quant - 1
+	}
+	return k
 }
 
 // leafTables fills out (length min(B,1)+1) with the budget table of the
@@ -227,10 +430,11 @@ func (d *treeDP) solveLevel(l int, vals []float64) {
 // the completed level below, in the serial operation order. vals holds
 // the incoming values of the covered states when l is the last internal
 // level, indexed vals[s-voff] (the full-level array for the forward
-// sweep, a single node's block for a repair). Every state is an
-// independent slot, so any partition of a level into solveStates calls —
-// the pool's chunks, a repair's dirty blocks — produces bit-identical
-// tables.
+// sweep, a single node's block for a repair); in quantized mode every
+// level's incoming values are retained in d.vals instead and the vals
+// parameter is ignored. Every state is an independent slot, so any
+// partition of a level into solveStates calls — the pool's chunks, a
+// repair's dirty blocks — produces bit-identical tables.
 func (d *treeDP) solveStates(l, lo, hi int, vals []float64, voff int) {
 	offs := d.offs[l]
 	first := 1 << l
@@ -248,6 +452,8 @@ func (d *treeDP) solveStates(l, lo, hi int, vals []float64, voff int) {
 		lbuf = make([]float64, centries)
 		rbuf = make([]float64, centries)
 	}
+	qmode := d.quant > 0
+	qchild := !fused && d.lq(l+1)
 	i := sort.SearchInts(offs, lo+1) - 1
 	for s := lo; s < hi; i++ {
 		j := first + i
@@ -255,24 +461,37 @@ func (d *treeDP) solveStates(l, lo, hi int, vals []float64, voff int) {
 		br := d.br(j)
 		for ; s < end; s++ {
 			local := s - offs[i]
+			var v float64
+			if qmode {
+				v = d.vals[l][s]
+			} else if fused {
+				v = vals[s-voff]
+			}
 			out := d.res[l][s*entries : (s+1)*entries]
 			for k := range out {
 				out[k] = math.Inf(1)
 			}
 			for dd := 0; dd < br; dd++ {
+				var w float64
+				if dd > 0 {
+					w = d.cands[j][dd-1]
+				}
 				var lt, rt []float64
 				if fused {
-					v := vals[s-voff]
-					w := 0.0
-					if dd > 0 {
-						w = d.cands[j][dd-1]
-					}
 					d.leafTables(2*j, v+w, lbuf)
 					d.leafTables(2*j+1, v-w, rbuf)
 					lt, rt = lbuf, rbuf
 				} else {
-					cl := coffs[2*i] + local*br + dd
-					cr := coffs[2*i+1] + local*br + dd
+					var cl, cr int
+					if qchild {
+						// Quantized child level: bucket the exact child
+						// values onto the children's grids.
+						cl = coffs[2*i] + d.snap(l+1, 2*i, v+w)
+						cr = coffs[2*i+1] + d.snap(l+1, 2*i+1, v-w)
+					} else {
+						cl = coffs[2*i] + local*br + dd
+						cr = coffs[2*i+1] + local*br + dd
+					}
 					lt = d.res[l+1][cl*centries : (cl+1)*centries]
 					rt = d.res[l+1][cr*centries : (cr+1)*centries]
 				}
@@ -387,48 +606,75 @@ func (d *treeDP) walk(l, j, local int, v float64, b int, keep *[]coefChoice) {
 		lbuf = make([]float64, ccap+1)
 		rbuf = make([]float64, ccap+1)
 	}
-	childTables := func(dd int, vl, vr float64) (lt, rt []float64) {
+	// resolve maps decision dd to the two children's local states and
+	// incoming values. On a quantized child level the exact child value
+	// v±w is bucketed to the child's grid and replaced by the grid value
+	// — exactly the forward sweep's transition — so the descent keeps
+	// reproducing the forward argmin comparisons bit for bit.
+	resolve := func(dd int) (locL, locR int, vl, vr float64) {
+		var w float64
+		if dd > 0 {
+			w = d.cands[j][dd-1]
+		}
+		vl, vr = v+w, v-w
+		if fused {
+			return 0, 0, vl, vr
+		}
+		if d.lq(l + 1) {
+			locL = d.snap(l+1, 2*i, vl)
+			locR = d.snap(l+1, 2*i+1, vr)
+			vl = d.vals[l+1][d.offs[l+1][2*i]+locL]
+			vr = d.vals[l+1][d.offs[l+1][2*i+1]+locR]
+			return locL, locR, vl, vr
+		}
+		locL = local*br + dd
+		return locL, locL, vl, vr
+	}
+	childTables := func(locL, locR int, vl, vr float64) (lt, rt []float64) {
 		if fused {
 			d.leafTables(2*j, vl, lbuf)
 			d.leafTables(2*j+1, vr, rbuf)
 			return lbuf, rbuf
 		}
-		cl := d.offs[l+1][2*i] + local*br + dd
-		cr := d.offs[l+1][2*i+1] + local*br + dd
+		cl := d.offs[l+1][2*i] + locL
+		cr := d.offs[l+1][2*i+1] + locR
 		return d.res[l+1][cl*centries : (cl+1)*centries],
 			d.res[l+1][cr*centries : (cr+1)*centries]
 	}
-	lt, rt := childTables(0, v, v)
+	locL, locR, vl, vr := resolve(0)
+	lt, rt := childTables(locL, locR, vl, vr)
 	for bl := 0; bl <= b; bl++ {
 		if d.combine(lt[min(bl, ccap)], rt[min(b-bl, ccap)]) <= tgt {
-			d.walk(l+1, 2*j, local*br, v, bl, keep)
-			d.walk(l+1, 2*j+1, local*br, v, b-bl, keep)
+			d.walk(l+1, 2*j, locL, vl, bl, keep)
+			d.walk(l+1, 2*j+1, locR, vr, b-bl, keep)
 			return
 		}
 	}
 	if b >= 1 {
 		for c, w := range d.cands[j] {
-			lt, rt := childTables(c+1, v+w, v-w)
+			locL, locR, vl, vr := resolve(c + 1)
+			lt, rt := childTables(locL, locR, vl, vr)
 			for bl := 0; bl <= b-1; bl++ {
 				if d.combine(lt[min(bl, ccap)], rt[min(b-1-bl, ccap)]) <= tgt {
 					*keep = append(*keep, coefChoice{j, w})
-					d.walk(l+1, 2*j, local*br+c+1, v+w, bl, keep)
-					d.walk(l+1, 2*j+1, local*br+c+1, v-w, b-1-bl, keep)
+					d.walk(l+1, 2*j, locL, vl, bl, keep)
+					d.walk(l+1, 2*j+1, locR, vr, b-1-bl, keep)
 					return
 				}
 			}
 		}
 	}
 	// Floating-point slack: fall back to the best drop split.
-	lt, rt = childTables(0, v, v)
+	locL, locR, vl, vr = resolve(0)
+	lt, rt = childTables(locL, locR, vl, vr)
 	bestBl, bestC := 0, math.Inf(1)
 	for bl := 0; bl <= b; bl++ {
 		if c := d.combine(lt[min(bl, ccap)], rt[min(b-bl, ccap)]); c < bestC {
 			bestC, bestBl = c, bl
 		}
 	}
-	d.walk(l+1, 2*j, local*br, v, bestBl, keep)
-	d.walk(l+1, 2*j+1, local*br, v, b-bestBl, keep)
+	d.walk(l+1, 2*j, locL, vl, bestBl, keep)
+	d.walk(l+1, 2*j+1, locR, vr, b-bestBl, keep)
 }
 
 // walkLeaf re-derives a finest-level node's decision: retain only when
@@ -565,8 +811,17 @@ func (d *treeDP) repair(dirtyItems []int) {
 	L := d.levels
 	locals := uniqueLocals(dirtyItems, func(it int) int { return d.pathLocal(L-2, it) })
 	for _, i := range locals {
-		vals := d.valsForBlock(i)
-		d.solveStates(L-2, d.offs[L-2][i], d.offs[L-2][i+1], vals, d.offs[L-2][i])
+		// Quantized mode re-reads the retained d.vals grids directly:
+		// repairable mutations only change candidates at the two finest
+		// levels, and every grid (and exact enumeration) on the kept
+		// levels depends only on strict-ancestor candidates above them.
+		var vals []float64
+		voff := 0
+		if d.quant == 0 {
+			vals = d.valsForBlock(i)
+			voff = d.offs[L-2][i]
+		}
+		d.solveStates(L-2, d.offs[L-2][i], d.offs[L-2][i+1], vals, voff)
 	}
 	for l := L - 3; l >= 0; l-- {
 		locals = uniqueLocals(locals, func(child int) int { return child >> 1 })
@@ -624,6 +879,52 @@ func (d *treeDP) valsForBlock(i int) []float64 {
 		cur = next
 	}
 	return cur
+}
+
+// errorBound bounds the quantized DP's additive suboptimality: the true
+// expected error of any synopsis it extracts is within the returned
+// bound of the exact restricted optimum (0 in exact mode). The argument
+// is §4.2's bound-and-quantize one, applied twice. Each item's
+// reconstruction value drifts from its exact counterpart by at most
+// Δ_i = Σ half-grid-steps along its path's quantized levels, and the
+// per-item error function is Lipschitz on the reachable value interval,
+// so (1) replaying the exact optimum through the snapped DP shows
+// table ≤ OPT + E, and (2) re-evaluating the extracted synopsis exactly
+// shows true ≤ table + E — hence true ≤ OPT + 2E, with E the Σ (or max,
+// for maximum metrics) of the per-item Lipschitz·Δ_i terms.
+func (d *treeDP) errorBound() float64 {
+	if d.quant == 0 || d.levels < 2 {
+		return 0
+	}
+	L := d.levels
+	total, worst := 0.0, 0.0
+	for i := 0; i < d.n; i++ {
+		delta := 0.0
+		for l := 0; l <= L-2; l++ {
+			if d.lq(l) {
+				delta += d.gstep[l][d.pathLocal(l, i)] / 2
+			}
+		}
+		if delta == 0 {
+			continue
+		}
+		// The item's reachable reconstruction values: its L-2 ancestor's
+		// bounds extended by the two finest decisions and the drift.
+		i2 := d.pathLocal(L-2, i)
+		ext := math.Abs(d.cands[(1<<(L-2))+i2][0]) +
+			math.Abs(d.cands[(1<<(L-1))+i/2][0]) + delta
+		lo := d.blo[L-2][i2] - ext
+		hi := d.bhi[L-2][i2] + ext
+		e := d.pe.errSlack(i, lo, hi, delta)
+		total += e
+		if e > worst {
+			worst = e
+		}
+	}
+	if d.cumulative {
+		return 2 * total
+	}
+	return 2 * worst
 }
 
 // synopsisFromChoices assembles a sparse synopsis from retained

@@ -77,14 +77,25 @@ func BuildLive(src Source, m Metric, Bmax int, opts ...BuildOption) (Maintainer,
 		if cfg.weights != nil {
 			return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
 		}
+		if cfg.quantizeSet && cfg.rquantSet {
+			return nil, fmt.Errorf("probsyn: WithQuantize (approximate restricted) and WithUnrestricted are mutually exclusive")
+		}
 		family := wavelet.LiveRestrictedFamily
+		q := 0
 		switch {
 		case cfg.quantizeSet:
-			family = wavelet.LiveUnrestrictedFamily
+			family, q = wavelet.LiveUnrestrictedFamily, cfg.quantize
+		case cfg.rquantSet:
+			// Quantized restricted: NewLive replays mutations on the
+			// quantized grids, matching a fresh quantized sweep.
+			if m == SSE {
+				return nil, fmt.Errorf("probsyn: the SSE wavelet build is greedy-exact (Theorem 7); incoming-value quantization applies to the restricted DP metrics")
+			}
+			q = cfg.rquant
 		case m == SSE || m == SSEFixed:
 			family = wavelet.LiveSSEFamily
 		}
-		lv, err := wavelet.NewLive(vp, family, m, cfg.params, Bmax, cfg.quantize, pool)
+		lv, err := wavelet.NewLive(vp, family, m, cfg.params, Bmax, q, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -92,6 +103,9 @@ func BuildLive(src Source, m Metric, Bmax int, opts ...BuildOption) (Maintainer,
 	}
 	if cfg.quantizeSet {
 		return nil, fmt.Errorf("probsyn: unrestricted coefficient values are a wavelet option")
+	}
+	if cfg.rquantSet {
+		return nil, fmt.Errorf("probsyn: incoming-value quantization is a wavelet option")
 	}
 	cfgCopy := cfg // the oracle factory outlives this call
 	makeOracle := func(v *pdata.ValuePDF) (hist.Oracle, error) {
@@ -190,6 +204,15 @@ func (f *liveWavelet) Cost(b int) float64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.lv.Cost(b)
+}
+
+// ErrorBound surfaces the quantized restricted DP's additive
+// suboptimality bound under the current data (0 for exact families); see
+// ApproxBound.
+func (f *liveWavelet) ErrorBound() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lv.ErrorBound()
 }
 
 func (f *liveWavelet) Synopsis(b int) (Synopsis, error) {
