@@ -25,6 +25,8 @@ type buildConfig struct {
 	quantizeSet bool
 	rquant      int
 	rquantSet   bool
+	shards      int
+	shardsSet   bool
 }
 
 // WithParams sets the metric parameters (the sanity constant c of the
@@ -112,6 +114,15 @@ func WithQuantize(q int) BuildOption {
 	return func(c *buildConfig) { c.rquant, c.rquantSet = q, true }
 }
 
+// WithShards splits the build across k contiguous domain shards built
+// concurrently and merged under the global budget (see BuildSharded,
+// which also returns the per-shard pieces and the suboptimality bound
+// that Build discards). k = 1 is the ordinary unsharded build; wavelet
+// shard counts must be powers of two, and the DP families need B >= k.
+func WithShards(k int) BuildOption {
+	return func(c *buildConfig) { c.shards, c.shardsSet = k, true }
+}
+
 // Build is the unified synopsis constructor: it builds a B-term synopsis
 // of the requested family minimizing the metric's expected error over the
 // source's possible worlds, and returns it behind the shared Synopsis
@@ -123,6 +134,17 @@ func Build(src Source, m Metric, B int, opts ...BuildOption) (Synopsis, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.shardsSet && cfg.shards != 1 {
+		res, err := buildSharded(src, m, B, cfg.shards, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Synopsis, nil
+	}
+	return buildOne(src, m, B, &cfg)
+}
+
+func buildOne(src Source, m Metric, B int, cfg *buildConfig) (Synopsis, error) {
 	pool := cfg.pool
 	if pool == nil {
 		pool = engine.New(engine.Options{Workers: cfg.parallelism})
@@ -138,13 +160,13 @@ func Build(src Source, m Metric, B int, opts ...BuildOption) (Synopsis, error) {
 	// Return an untyped nil on error: wrapping a nil concrete pointer in
 	// the interface would defeat callers' `!= nil` checks.
 	if cfg.wavelet {
-		syn, err := buildWavelet(src, m, B, &cfg, pool)
+		syn, err := buildWavelet(src, m, B, cfg, pool)
 		if err != nil {
 			return nil, err
 		}
 		return syn, nil
 	}
-	h, err := buildHistogram(src, m, B, &cfg, pool)
+	h, err := buildHistogram(src, m, B, cfg, pool)
 	if err != nil {
 		return nil, err
 	}

@@ -89,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 		flagAppend   = fs.String("append", "", "value-model dataset file whose items extend the -input dataset; every synopsis for -dataset in the -out catalog directory is revalidated and rewritten")
 		flagSaveData = fs.String("save-data", "", "with -append: write the merged dataset to this file")
 		flagQuery    = fs.String("query", "", "batch request file (POST /v1/query JSON body) answered offline from the -out catalog directory; the response JSON is written to stdout, byte-identical to a served one")
+		flagShards   = fs.Int("shards", 0, "if >= 2, build sharded: split the domain into this many contiguous ranges, build each in parallel, and merge (exact for SSE wavelets; DP families report a certified additive suboptimality bound); with -out (a catalog directory), the merged synopsis and every piece are saved under key-encoded filenames")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -150,6 +151,9 @@ func run(args []string, stdout io.Writer) error {
 		if *flagEqui || *flagApprox > 0 {
 			return fmt.Errorf("-sweep needs the exact DP (drop -equidepth/-approx)")
 		}
+		if *flagShards >= 2 {
+			return fmt.Errorf("-sweep cannot shard (drop -shards)")
+		}
 		dataset := *flagDataset
 		if dataset == "" {
 			dataset = strings.TrimSuffix(filepath.Base(*flagInput), filepath.Ext(*flagInput))
@@ -160,6 +164,22 @@ func run(args []string, stdout io.Writer) error {
 			opts = append(opts, probsyn.WithWavelet())
 		}
 		return runSweep(stdout, src, m, p, budget, dataset, *flagOut, rquant, opts)
+	}
+
+	if *flagShards >= 2 {
+		if *flagEqui || *flagApprox > 0 || *flagUnres {
+			return fmt.Errorf("-shards needs the exact or quantized DP (drop -equidepth/-approx/-unrestricted)")
+		}
+		dataset := *flagDataset
+		if dataset == "" {
+			dataset = strings.TrimSuffix(filepath.Base(*flagInput), filepath.Ext(*flagInput))
+		}
+		budget := *flagBuckets
+		if *flagWavelet {
+			budget = *flagCoeffs
+			opts = append(opts, probsyn.WithWavelet())
+		}
+		return runSharded(stdout, src, m, p, budget, *flagShards, dataset, *flagOut, rquant, opts)
 	}
 
 	var syn probsyn.Synopsis
@@ -318,6 +338,30 @@ func runQuery(stdout io.Writer, reqPath, catalogDir string, c float64) error {
 		if err != nil {
 			return nil, 0, &query.OpError{Code: "bad_request", Message: err.Error()}
 		}
+		if bk.Shards >= 2 {
+			// A sharded key answers through a composite querier over its
+			// saved piece files — the offline twin of the server's
+			// sharded batch resolution.
+			pieces := make([]query.Querier, bk.Shards)
+			bounds := make([]int, bk.Shards+1)
+			for s := 0; s < bk.Shards; s++ {
+				pk, err := key.Piece(s, bk.Shards)
+				if err != nil {
+					return nil, 0, &query.OpError{Code: "bad_request", Message: err.Error()}
+				}
+				syn, err := catalog.ReadFile(filepath.Join(catalogDir, pk.Filename()))
+				if err != nil {
+					return nil, 0, &query.OpError{Code: "not_found", Message: fmt.Sprintf("no synopsis for %s (build it first)", pk)}
+				}
+				pieces[s] = query.Compile(syn)
+				bounds[s+1] = bounds[s] + syn.Domain()
+			}
+			sq, err := query.NewSharded(pieces, bounds)
+			if err != nil {
+				return nil, 0, &query.OpError{Code: "bad_request", Message: err.Error()}
+			}
+			return sq, sq.Domain(), nil
+		}
 		syn, err := catalog.ReadFile(filepath.Join(catalogDir, key.Filename()))
 		if err != nil {
 			// The same message the server's resolver produces for an
@@ -376,6 +420,58 @@ func runSweep(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.
 	if outDir != "" {
 		fmt.Fprintf(stdout, "saved %d synopses to %s\n", written, outDir)
 	}
+	return nil
+}
+
+// runSharded builds a k-way sharded synopsis — the offline twin of a
+// psynd build request with shards — printing the merged cost and the
+// certified additive suboptimality bound, and (with -out) saving the
+// merged synopsis plus every piece under key-encoded catalog filenames,
+// byte-identical to what a psynd sharded build persists.
+func runSharded(stdout io.Writer, src probsyn.Source, m probsyn.Metric, p probsyn.Params, budget, shards int, dataset, outDir string, rquant int, opts []probsyn.BuildOption) error {
+	res, err := probsyn.BuildSharded(src, m, budget, shards, opts...)
+	if err != nil {
+		return err
+	}
+	syn := res.Synopsis
+	family := catalog.FamilyHistogram
+	if _, ok := syn.(*probsyn.WaveletSynopsis); ok {
+		family = catalog.FamilyWavelet
+	}
+	fmt.Fprintf(stdout, "sharded %s %v build over n=%d: %d shards, budget %d, expected error %.6g\n",
+		family, m, src.Domain(), shards, budget, syn.ErrorCost())
+	if res.Bound == 0 {
+		fmt.Fprintln(stdout, "merge is exact: cost equals the unsharded optimum")
+	} else {
+		fmt.Fprintf(stdout, "suboptimality bound: within %.6g of the unsharded optimum\n", res.Bound)
+	}
+	fmt.Fprintln(stdout, "shard,start,end,terms,cost")
+	for i, piece := range res.Pieces {
+		fmt.Fprintf(stdout, "%d,%d,%d,%d,%.6g\n", i, res.Bounds[i], res.Bounds[i+1]-1, piece.Terms(), piece.ErrorCost())
+	}
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	key, err := catalog.NewKeyQ(dataset, family, m.String(), budget, p.C, rquant)
+	if err != nil {
+		return err
+	}
+	if _, err := catalog.WriteFile(filepath.Join(outDir, key.Filename()), syn); err != nil {
+		return err
+	}
+	for i, piece := range res.Pieces {
+		pk, err := key.Piece(i, shards)
+		if err != nil {
+			return err
+		}
+		if _, err := catalog.WriteFile(filepath.Join(outDir, pk.Filename()), piece); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "saved the merged synopsis and %d pieces to %s\n", len(res.Pieces), outDir)
 	return nil
 }
 

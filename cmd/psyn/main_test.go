@@ -490,3 +490,100 @@ func TestRunQueryValidation(t *testing.T) {
 		t.Fatal("malformed batch accepted")
 	}
 }
+
+// TestRunSharded: a -shards build saves the merged synopsis plus every
+// piece, byte-identical to an in-process BuildSharded, and a -query
+// batch with "shards" answers through the saved pieces.
+func TestRunSharded(t *testing.T) {
+	dir := t.TempDir()
+	dataset, src := writeDataset(t, dir)
+	catDir := filepath.Join(dir, "catalog")
+	var out bytes.Buffer
+	if err := run([]string{"-input", dataset, "-metric", "SSE", "-buckets", "8", "-shards", "4", "-dataset", "ds", "-out", catDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "suboptimality bound") && !strings.Contains(out.String(), "merge is exact") {
+		t.Fatalf("no bound line in output:\n%s", out.String())
+	}
+	ref, err := probsyn.BuildSharded(src, probsyn.SSE, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merged file and all four piece files exist and decode to the
+	// reference bytes.
+	names := []string{"ds--histogram--SSE--b8.psyn"}
+	for i := 0; i < 4; i++ {
+		names = append(names, fmt.Sprintf("ds--histogram--SSE--s%dof4--b8.psyn", i))
+	}
+	want := make([][]byte, 0, len(names))
+	for _, syn := range append([]probsyn.Synopsis{ref.Synopsis}, ref.Pieces...) {
+		blob, err := probsyn.MarshalSynopsis(syn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, blob)
+	}
+	for k, name := range names {
+		got, err := os.ReadFile(filepath.Join(catDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[k]) {
+			t.Fatalf("%s differs from the in-process build", name)
+		}
+	}
+	// SSE wavelet sharding is exact, and the report says so.
+	out.Reset()
+	if err := run([]string{"-input", dataset, "-wavelet", "-metric", "SSE", "-coeffs", "6", "-shards", "2", "-dataset", "ds", "-out", catDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "merge is exact") {
+		t.Fatalf("SSE wavelet shard merge not reported exact:\n%s", out.String())
+	}
+	// Offline batch queries resolve sharded keys from the piece files.
+	reqPath := filepath.Join(dir, "batch.json")
+	batch := `{"ops":[{"dataset":"ds","family":"histogram","metric":"SSE","budget":8,"shards":4,"op":"rangesum","lo":5,"hi":40}]}`
+	if err := os.WriteFile(reqPath, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-query", reqPath, "-out", catDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Results []struct {
+			Value float64 `json:"value"`
+			Err   *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Err != nil {
+		t.Fatalf("batch results %+v\n%s", resp.Results, out.String())
+	}
+	want0 := 0.0
+	for s := 0; s < 4; s++ {
+		lo, hi := ref.Bounds[s], ref.Bounds[s+1]-1
+		if lo > 40 || hi < 5 {
+			continue
+		}
+		want0 += ref.Pieces[s].RangeSum(max(5, lo)-lo, min(40, hi)-lo)
+	}
+	if resp.Results[0].Value != want0 {
+		t.Fatalf("sharded batch rangesum = %v, want %v", resp.Results[0].Value, want0)
+	}
+}
+
+func TestRunShardedValidation(t *testing.T) {
+	dir := t.TempDir()
+	dataset, _ := writeDataset(t, dir)
+	if err := run([]string{"-input", dataset, "-shards", "2", "-equidepth"}, io.Discard); err == nil {
+		t.Fatal("-shards -equidepth accepted")
+	}
+	if err := run([]string{"-input", dataset, "-shards", "2", "-sweep"}, io.Discard); err == nil {
+		t.Fatal("-shards -sweep accepted")
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -263,5 +265,131 @@ func TestPsyndPprofListener(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Fatal("pprof served on the query listener")
+	}
+}
+
+// reservePort binds an ephemeral port and releases it, returning the
+// address for a server about to start. The tiny race (something else
+// grabbing the port between close and listen) is acceptable in tests —
+// cluster mode needs the full peer list before any node starts.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// Two psynd processes with the same -peers list form a cluster: a
+// sharded build POSTed to either node forwards to the dataset owner,
+// pieces spread over both catalogs, gathered reads answer identically
+// from either node, and both shut down cleanly.
+func TestPsyndClusterTwoNodes(t *testing.T) {
+	addrs := []string{reservePort(t), reservePort(t)}
+	peers := strings.Join(addrs, ",")
+	var src probsyn.Source
+	urls := make([]string, 2)
+	stops := make([]func() error, 2)
+	for i, addr := range addrs {
+		dataDir := t.TempDir()
+		src = writeDataset(t, dataDir)
+		ctx, cancel := context.WithCancel(context.Background())
+		out := &syncBuffer{}
+		done := make(chan error, 1)
+		args := []string{"-addr", addr, "-data", dataDir, "-catalog", t.TempDir(), "-peers", peers}
+		go func() { done <- run(ctx, args, out) }()
+		deadline := time.Now().Add(15 * time.Second)
+		for !strings.Contains(out.String(), "listening on") {
+			select {
+			case err := <-done:
+				t.Fatalf("psynd %s exited before listening: %v\noutput:\n%s", addr, err, out.String())
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("psynd %s never listened:\n%s", addr, out.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !strings.Contains(out.String(), "cluster mode, 2 peers") {
+			t.Fatalf("psynd %s did not report cluster mode:\n%s", addr, out.String())
+		}
+		urls[i] = "http://" + addr
+		stops[i] = func() error { cancel(); return <-done }
+	}
+	defer func() {
+		for i, stop := range stops {
+			if stop == nil {
+				continue
+			}
+			if err := stop(); err != nil {
+				t.Errorf("node %d shutdown: %v", i, err)
+			}
+		}
+	}()
+
+	const k = 2
+	body := `{"dataset":"ds","family":"histogram","metric":"SSE","budget":8,"shards":2,"wait":true}`
+	resp, err := http.Post(urls[0]+"/v1/build", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded build: status %d: %s", resp.StatusCode, raw)
+	}
+	ref, err := probsyn.BuildSharded(src, probsyn.SSE, 8, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 63}, {5, 40}, {30, 50}} {
+		want := 0.0
+		for s := 0; s < k; s++ {
+			lo, hi := ref.Bounds[s], ref.Bounds[s+1]-1
+			if lo > r[1] || hi < r[0] {
+				continue
+			}
+			want += ref.Pieces[s].RangeSum(max(r[0], lo)-lo, min(r[1], hi)-lo)
+		}
+		for _, u := range urls {
+			var rr struct {
+				Sum float64 `json:"sum"`
+			}
+			resp, err := http.Get(fmt.Sprintf("%s/v1/rangesum?dataset=ds&family=histogram&metric=SSE&budget=8&shards=%d&lo=%d&hi=%d", u, k, r[0], r[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("gathered rangesum via %s: status %d: %s", u, resp.StatusCode, raw)
+			}
+			if err := json.Unmarshal(raw, &rr); err != nil {
+				t.Fatal(err)
+			}
+			if rr.Sum != want {
+				t.Fatalf("gathered rangesum [%d,%d] via %s = %v, want %v", r[0], r[1], u, rr.Sum, want)
+			}
+		}
+	}
+	// Clean shutdown of both nodes (the deferred stops check errors);
+	// run them now so failures attribute to this point.
+	for i, stop := range stops {
+		if err := stop(); err != nil {
+			t.Errorf("node %d shutdown: %v", i, err)
+		}
+		stops[i] = nil
+	}
+}
+
+func TestRunRejectsSelfWithoutPeers(t *testing.T) {
+	err := run(context.Background(), []string{"-data", t.TempDir(), "-self", "x:1"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-peers") {
+		t.Fatalf("err = %v", err)
 	}
 }

@@ -147,6 +147,82 @@ func TestFilenameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestShardKeyRoundTrip(t *testing.T) {
+	whole, err := NewKeyQ("cluster--data", FamilyWavelet, "SAE", 12, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		piece, err := whole.Piece(s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if piece.Whole() != whole {
+			t.Fatalf("Whole(%+v) = %+v, want %+v", piece, piece.Whole(), whole)
+		}
+		name := piece.Filename()
+		back, err := ParseFilename(name)
+		if err != nil {
+			t.Fatalf("ParseFilename(%q): %v", name, err)
+		}
+		if back != piece {
+			t.Fatalf("round trip %+v -> %q -> %+v", piece, name, back)
+		}
+		if back == whole {
+			t.Fatalf("piece key %q collides with whole key", name)
+		}
+	}
+	// Piece keys of a histogram build with all optional segments.
+	hk, err := NewKey("d", FamilyHistogram, "MARE", 6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hk.Piece(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := ParseFilename(hp.Filename()); err != nil || back != hp {
+		t.Fatalf("round trip %+v -> %q -> %+v (%v)", hp, hp.Filename(), back, err)
+	}
+	// Invalid piece constructions.
+	if _, err := whole.Piece(0, 1); err == nil {
+		t.Fatal("k = 1 piece accepted")
+	}
+	if _, err := whole.Piece(4, 4); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := whole.Piece(-1, 4); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+	p, _ := whole.Piece(0, 4)
+	if _, err := p.Piece(0, 2); err == nil {
+		t.Fatal("piece of a piece accepted")
+	}
+	// Malformed or misordered shard filename segments.
+	for _, bad := range []string{
+		"a--histogram--SSE--sof2--b4.psyn",         // missing shard index
+		"a--histogram--SSE--s1of--b4.psyn",         // missing shard count
+		"a--histogram--SSE--s1of0--b4.psyn",        // zero shard count
+		"a--histogram--SSE--s2of2--b4.psyn",        // index out of range
+		"a--histogram--SSE--s0of0--b4.psyn",        // degenerate zero segment
+		"a--wavelet--SAE--s1of2--q4--b4.psyn",      // s before q
+		"a--histogram--MARE--s1of2--c0.5--b4.psyn", // s before c
+	} {
+		if _, err := ParseFilename(bad); err == nil {
+			t.Errorf("ParseFilename(%q) accepted", bad)
+		}
+	}
+	// The injectivity tail guard: a shard segment must not be mistaken
+	// for part of a dataset name, nor vice versa.
+	ds, err := NewKey("x--s1of2", FamilyHistogram, "SSE", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := ParseFilename(ds.Filename()); err != nil || back != ds {
+		t.Fatalf("dataset containing a shard-like segment: %q -> %+v (%v)", ds.Filename(), back, err)
+	}
+}
+
 func TestCatalogPutGetList(t *testing.T) {
 	h, w := buildPair(t)
 	c := New()

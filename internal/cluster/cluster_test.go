@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3"}
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("ds/dataset-%d", i)
+		o := r1.Owner(key)
+		if o2 := r2.Owner(key); o2 != o {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, o, o2)
+		}
+		hit[o]++
+	}
+	for _, p := range peers {
+		if hit[p] == 0 {
+			t.Fatalf("peer %q owns nothing of 3000 keys: %v", p, hit)
+		}
+		if hit[p] < 300 {
+			t.Fatalf("peer %q owns only %d of 3000 keys — badly unbalanced: %v", p, hit[p], hit)
+		}
+	}
+}
+
+func TestRingStabilityUnderPeerAddition(t *testing.T) {
+	r3, _ := NewRing([]string{"a:1", "b:2", "c:3"}, 0)
+	r4, _ := NewRing([]string{"a:1", "b:2", "c:3", "d:4"}, 0)
+	moved := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r3.Owner(key) != r4.Owner(key) {
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/4 of keys when a 4th peer joins; a
+	// modulo placement would move ~3/4. Allow slack for vnode variance.
+	if moved > n/2 {
+		t.Fatalf("%d of %d keys moved on peer addition — placement is not consistent", moved, n)
+	}
+}
+
+func TestRingRejectsBadPeerLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty peer address accepted")
+	}
+}
+
+func TestClientForwardsAndRelaysStatus(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.URL.Path == "/v1/teapot" {
+			w.WriteHeader(http.StatusTeapot)
+			fmt.Fprint(w, `{"error":{"code":"teapot"}}`)
+			return
+		}
+		body := make([]byte, 64)
+		n, _ := r.Body.Read(body)
+		fmt.Fprintf(w, "echo:%s", body[:n])
+	}))
+	defer srv.Close()
+	peer := strings.TrimPrefix(srv.URL, "http://")
+	c := NewClient(0)
+	status, resp, err := c.Do(peer, http.MethodPost, "/v1/echo", []byte("hi"), "application/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || string(resp) != "echo:hi" {
+		t.Fatalf("got %d %q", status, resp)
+	}
+	// HTTP-level errors relay without retrying.
+	before := calls.Load()
+	status, resp, err = c.Do(peer, http.MethodGet, "/v1/teapot", nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTeapot || !strings.Contains(string(resp), "teapot") {
+		t.Fatalf("got %d %q", status, resp)
+	}
+	if calls.Load() != before+1 {
+		t.Fatalf("HTTP error retried: %d calls", calls.Load()-before)
+	}
+	// Transport-level failures surface as errors after the one retry.
+	if _, _, err := c.Do("127.0.0.1:1", http.MethodGet, "/v1/x", nil, ""); err == nil {
+		t.Fatal("dead peer did not error")
+	}
+}
+
+func TestPeerURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:8080":         "http://localhost:8080",
+		"http://h:1/":            "http://h:1",
+		"https://secure.example": "https://secure.example",
+	} {
+		if got := PeerURL(in); got != want {
+			t.Fatalf("PeerURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -64,6 +64,7 @@ type Pool struct {
 	grain    int
 	dynamic  bool
 	sem      chan struct{} // admission tokens; nil = unlimited
+	multiMu  sync.Mutex    // serializes multi-token acquirers (AcquireN)
 	inflight atomic.Int32
 	peak     atomic.Int32
 }
@@ -127,6 +128,59 @@ func (p *Pool) Acquire(ctx context.Context) (release func(), err error) {
 		once.Do(func() {
 			p.inflight.Add(-1)
 			<-p.sem
+		})
+	}, nil
+}
+
+// AcquireN blocks until the pool admits n more builds at once and
+// returns the granted token count with one release func covering all of
+// them. The grant is all-or-nothing: a mutex serializes multi-token
+// acquirers, so two concurrent AcquireN calls can never each hold a
+// partial grant while waiting for the other's tokens — the loop-of-
+// Acquire pattern deadlocks exactly that way on a small MaxBuilds cap.
+// n is clamped to [1, MaxBuilds] (asking for more than the cap can ever
+// supply would self-deadlock); the caller reads the granted count back
+// and bounds its internal concurrency by it. Uncapped (or nil) pools
+// grant n without blocking. Single Acquire calls are unaffected and
+// cannot be starved: blocked channel sends are served in arrival order,
+// so a collector mid-grant queues like any other sender.
+func (p *Pool) AcquireN(ctx context.Context, n int) (granted int, release func(), err error) {
+	if n < 1 {
+		n = 1
+	}
+	if p == nil || p.sem == nil {
+		return n, func() {}, nil
+	}
+	if c := cap(p.sem); n > c {
+		n = c
+	}
+	p.multiMu.Lock()
+	defer p.multiMu.Unlock()
+	for got := 0; got < n; got++ {
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			for ; got > 0; got-- {
+				<-p.sem
+			}
+			return 0, nil, ctx.Err()
+		}
+	}
+	in := p.inflight.Add(int32(n))
+	for {
+		old := p.peak.Load()
+		if in <= old || p.peak.CompareAndSwap(old, in) {
+			break
+		}
+	}
+	nn := n
+	var once sync.Once
+	return n, func() {
+		once.Do(func() {
+			p.inflight.Add(int32(-nn))
+			for i := 0; i < nn; i++ {
+				<-p.sem
+			}
 		})
 	}, nil
 }
@@ -302,4 +356,37 @@ func (p *Pool) ReduceMin(lo, hi, work int, fn func(clo, chi int) MinPartial) Min
 func ChunkBounds(w, parts, lo, hi int) (int, int) {
 	span := hi - lo
 	return lo + w*span/parts, lo + (w+1)*span/parts
+}
+
+// Fan runs f(0..k-1) across at most conc goroutines (a bounded task fan
+// for coarse units of independent work — per-shard builds, per-peer
+// RPCs — as opposed to the pool's fine-grained chunk dispatch). Each
+// call's outcome lands in its own slot, so results are deterministic at
+// any concurrency and completion order; the first error by index wins.
+func Fan(k, conc int, f func(i int) error) error {
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > k {
+		conc = k
+	}
+	errs := make([]error, k)
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

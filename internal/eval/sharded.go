@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"probsyn"
+	"probsyn/internal/engine"
+	"probsyn/internal/metric"
+	"probsyn/internal/pdata"
+)
+
+// ShardedPoint is one shard count of the sharded-build frontier: how
+// long the k-way build took end to end (per-shard builds plus the
+// merge), the exact combined cost of the merged synopsis, and the
+// additive suboptimality certificate it carries. Bound is 0 at k = 1
+// (the unsharded build IS the optimum) and for the SSE wavelet family,
+// whose sharded merge is exact at every k.
+type ShardedPoint struct {
+	K       int     `json:"k"`
+	Seconds float64 `json:"seconds"`
+	Cost    float64 `json:"cost"`
+	Bound   float64 `json:"bound"`
+}
+
+// ShardedExperiment sweeps BuildSharded over shard counts: one build
+// per k, each reporting wall time, true cost, and the certified bound —
+// the cost-vs-parallelism frontier a caller consults before picking a
+// shard count (or a cluster size). The k = 1 row is the unsharded
+// baseline, so the table reads directly as "what does sharding cost in
+// quality, and what does it buy in time".
+type ShardedExperiment struct {
+	Source pdata.Source
+	Metric metric.Kind
+	Params metric.Params
+	B      int
+	// Ks are the shard counts to sweep, each >= 1; include 1 for the
+	// unsharded baseline row.
+	Ks []int
+	// Wavelet selects the wavelet families (required for Quantize).
+	Wavelet bool
+	// Quantize, when >= 2, uses the quantized restricted wavelet DP
+	// per shard (the only wavelet DP that reaches large domains).
+	Quantize int
+	// Pool, when non-nil, schedules every per-shard build on this
+	// shared engine pool, one admission token per shard.
+	Pool *engine.Pool
+}
+
+// Run executes the experiment: one sharded build per shard count.
+func (e *ShardedExperiment) Run() ([]ShardedPoint, error) {
+	if e.B < 1 {
+		return nil, fmt.Errorf("eval: sharded frontier budget %d, want >= 1", e.B)
+	}
+	if len(e.Ks) == 0 {
+		return nil, fmt.Errorf("eval: sharded frontier needs at least one shard count")
+	}
+	var opts []probsyn.BuildOption
+	opts = append(opts, probsyn.WithParams(e.Params))
+	if e.Pool != nil {
+		opts = append(opts, probsyn.WithPool(e.Pool))
+	}
+	if e.Wavelet {
+		opts = append(opts, probsyn.WithWavelet())
+	}
+	if e.Quantize >= 2 {
+		opts = append(opts, probsyn.WithQuantize(e.Quantize))
+	}
+	var out []ShardedPoint
+	for _, k := range e.Ks {
+		start := time.Now()
+		res, err := probsyn.BuildSharded(e.Source, e.Metric, e.B, k, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("eval: k=%d: %w", k, err)
+		}
+		out = append(out, ShardedPoint{
+			K: k, Seconds: time.Since(start).Seconds(),
+			Cost: res.Synopsis.ErrorCost(), Bound: res.Bound,
+		})
+	}
+	return out, nil
+}

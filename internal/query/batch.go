@@ -34,6 +34,11 @@ type BatchKey struct {
 	// 0 queries the exact synopsis. Exact and quantized entries coexist
 	// under distinct catalog keys, so the querying side must say which.
 	Q int `json:"q,omitempty"`
+	// Shards queries a k-way sharded build through its distributed
+	// pieces: range sums split at shard boundaries and sum the pieces'
+	// partials, estimates route to the single owning piece. 0 queries
+	// the ordinary unsharded synopsis.
+	Shards int `json:"shards,omitempty"`
 }
 
 // The two operation kinds.

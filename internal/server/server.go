@@ -39,6 +39,22 @@
 //	                   errors; one round trip amortizes parsing and key
 //	                   resolution across the whole batch.
 //	GET  /v1/synopses  — list catalog entries.
+//	POST /v1/accept    ?name= (body: envelope bytes) — ingest one piece
+//	                   of a sharded build pushed by the building node
+//	                   (cluster internal; persist-before-publish).
+//	GET  /v1/blob      ?name= — a cataloged synopsis's envelope bytes,
+//	                   fetched by gathering nodes to compile remote
+//	                   pieces locally.
+//
+// Sharded builds and cluster mode: a build request with shards >= 2
+// partitions the domain, builds the shards in parallel over the pool
+// (probsyn.BuildSharded), and publishes the merged synopsis under the
+// ordinary key plus k piece entries under shard-suffixed keys. With a
+// peer list configured (Config.Peers/Self), the server is one node of
+// a scatter/gather cluster: builds forward to the dataset's owning
+// node, pieces spread over the consistent-hash ring, and the single
+// GET endpoints accept &shards=k (gather across pieces) and &shard=s
+// (answer one piece locally) — see cluster.go for the full protocol.
 //
 // All queries — the single GET endpoints and batches alike — answer
 // through the entry's compiled querier (internal/query), built once at
@@ -54,7 +70,8 @@
 // what a fresh build over the mutated dataset would persist.
 //
 // Errors are typed: {"error": {"code", "message"}} with codes
-// bad_request, not_found, queue_full, build_failed, shutting_down.
+// bad_request, not_found, queue_full, build_failed, shutting_down,
+// peer_unavailable.
 package server
 
 import (
@@ -72,6 +89,7 @@ import (
 
 	"probsyn"
 	"probsyn/internal/catalog"
+	"probsyn/internal/cluster"
 	"probsyn/internal/engine"
 	"probsyn/internal/pdata"
 	"probsyn/internal/query"
@@ -108,6 +126,14 @@ type Config struct {
 	// frontier is dropped — a later mutation of its dataset rebuilds it
 	// from the persisted source, trading one build for bounded memory.
 	MaxLiveStates int
+	// Peers, when non-empty, makes this server one node of a
+	// scatter/gather cluster: the full static peer address list, in the
+	// SAME order and spelling on every node — placement is a pure
+	// function of this list, so any disagreement splits the ring.
+	Peers []string
+	// Self is this node's own entry in Peers (required when Peers is
+	// set): how the node recognizes which datasets and pieces it owns.
+	Self string
 	// Logf, when non-nil, receives operational log lines (failed builds
 	// especially — an async wait:false build has no response to carry
 	// its error, so the log is where it surfaces). Nil means the
@@ -142,6 +168,23 @@ type Server struct {
 	closed    bool
 	workers   sync.WaitGroup
 
+	// Cluster state, nil outside cluster mode: the consistent-hash ring
+	// every node derives identically from cfg.Peers, and the reused
+	// HTTP client forwarded requests and piece pushes go through.
+	ring   *cluster.Ring
+	remote *cluster.Client
+
+	// pieceCache holds compiled queriers for REMOTE pieces of datasets
+	// this node owns: synopses are tiny (B terms), so the owning
+	// coordinator fetches each piece's envelope once (GET /v1/blob) and
+	// answers every later gathered read locally instead of paying a
+	// peer round trip per request. Only the dataset owner populates it
+	// — all sharded rebuilds of a dataset run on its owner, which drops
+	// the stale entries after redistributing (see buildSharded) — so
+	// the cache can never outlive the build it was compiled from.
+	pieceMu    sync.RWMutex
+	pieceCache map[catalog.Key]cachedPiece
+
 	// read-mostly cache of parsed datasets.
 	dsMu     sync.RWMutex
 	datasets map[string]probsyn.Source
@@ -175,10 +218,13 @@ type Server struct {
 	liveClock int64
 }
 
-// jobKey identifies a deduplicatable unit of build work.
+// jobKey identifies a deduplicatable unit of build work. shards > 1
+// dedupes sharded builds separately from plain builds of the same key:
+// they produce different catalog footprints (pieces).
 type jobKey struct {
 	catalog.Key
-	sweep bool
+	sweep  bool
+	shards int
 }
 
 // liveKey identifies one maintainable frontier: every cataloged budget
@@ -211,11 +257,12 @@ const (
 // buildJob is one queued build, budget sweep, or dataset mutation; err
 // (and the mutation results) are valid once done is closed.
 type buildJob struct {
-	kind jobKind
-	key  catalog.Key // build/sweep
-	mut  *mutation   // mutate
-	done chan struct{}
-	err  error
+	kind   jobKind
+	key    catalog.Key // build/sweep
+	shards int         // > 1 selects the sharded build path
+	mut    *mutation   // mutate
+	done   chan struct{}
+	err    error
 
 	// mutation results, reported on wait:true responses.
 	domain      int
@@ -252,14 +299,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxLiveStates <= 0 {
 		cfg.MaxLiveStates = DefaultMaxLiveStates
 	}
+	ring, remote, err := newClusterState(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:      cfg,
-		queue:    make(chan *buildJob, cfg.QueueDepth),
-		mutQueue: make(chan *buildJob, cfg.QueueDepth),
-		datasets: make(map[string]probsyn.Source),
-		pending:  make(map[jobKey]*buildJob),
-		dsLocks:  make(map[string]*sync.RWMutex),
-		lives:    make(map[liveKey]*liveState),
+		ring:       ring,
+		remote:     remote,
+		cfg:        cfg,
+		queue:      make(chan *buildJob, cfg.QueueDepth),
+		mutQueue:   make(chan *buildJob, cfg.QueueDepth),
+		datasets:   make(map[string]probsyn.Source),
+		pending:    make(map[jobKey]*buildJob),
+		pieceCache: make(map[catalog.Key]cachedPiece),
+		dsLocks:    make(map[string]*sync.RWMutex),
+		lives:      make(map[liveKey]*liveState),
 	}
 	for w := 0; w < cfg.BuildWorkers; w++ {
 		s.workers.Add(1)
@@ -289,7 +343,11 @@ func (s *Server) runJob(job *buildJob) {
 	case jobMutate:
 		job.domain, job.republished, job.err = s.mutate(job.mut)
 	default:
-		job.err = s.build(job.key)
+		if job.shards > 1 {
+			job.err = s.buildSharded(job.key, job.shards)
+		} else {
+			job.err = s.build(job.key)
+		}
 	}
 	if job.err != nil {
 		// Surface every failure here: an async (wait:false) client has
@@ -306,7 +364,7 @@ func (s *Server) runJob(job *buildJob) {
 	// never registered.)
 	if job.kind != jobMutate {
 		s.pendingMu.Lock()
-		delete(s.pending, jobKey{job.key, job.kind == jobSweep})
+		delete(s.pending, jobKey{job.key, job.kind == jobSweep, job.shards})
 		s.pendingMu.Unlock()
 	}
 	close(job.done)
@@ -362,6 +420,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/rangesum", s.handleRangeSum)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/synopses", s.handleSynopses)
+	mux.HandleFunc("POST /v1/accept", s.handleAccept)
+	mux.HandleFunc("GET /v1/blob", s.handleBlob)
 	return mux
 }
 
@@ -383,6 +443,12 @@ type BuildRequest struct {
 	// The grid size is part of the catalog key, so exact and quantized
 	// synopses of the same dataset/metric/budget coexist.
 	Quantize int `json:"quantize,omitempty"`
+	// Shards >= 2 requests a sharded build: the domain splits into that
+	// many contiguous ranges built in parallel over the pool and merged
+	// (probsyn.BuildSharded); the merged synopsis publishes under the
+	// ordinary key and the k pieces under shard-suffixed keys. 0 or 1
+	// is an ordinary unsharded build.
+	Shards int `json:"shards,omitempty"`
 	// Wait makes the request synchronous: the response arrives after the
 	// queued build completes (or fails).
 	Wait bool `json:"wait,omitempty"`
@@ -484,11 +550,12 @@ type APIError struct {
 
 // The error codes.
 const (
-	CodeBadRequest   = "bad_request"
-	CodeNotFound     = "not_found"
-	CodeQueueFull    = "queue_full"
-	CodeBuildFailed  = "build_failed"
-	CodeShuttingDown = "shutting_down"
+	CodeBadRequest      = "bad_request"
+	CodeNotFound        = "not_found"
+	CodeQueueFull       = "queue_full"
+	CodeBuildFailed     = "build_failed"
+	CodeShuttingDown    = "shutting_down"
+	CodePeerUnavailable = "peer_unavailable"
 )
 
 // ---- handlers ----
@@ -536,6 +603,32 @@ func (s *Server) handleBuildLike(w http.ResponseWriter, r *http.Request, sweep b
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	shards := req.Shards
+	if shards < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "negative shard count %d", shards)
+		return
+	}
+	if shards == 1 {
+		shards = 0 // one shard IS the unsharded build
+	}
+	if sweep && shards > 1 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "sweeps cannot be sharded")
+		return
+	}
+	// Cluster routing happens before any dataset access: every dataset
+	// has one owning node and only that node is required to hold the
+	// dataset file, so a request landing anywhere forwards whole.
+	if s.clustered() {
+		if owner := s.datasetOwner(key.Dataset); owner != s.cfg.Self {
+			body, err := json.Marshal(req)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+				return
+			}
+			s.forward(w, owner, http.MethodPost, r.URL.Path, body, "application/json")
+			return
+		}
+	}
 	budgets := 0
 	if sweep {
 		if key.Budget > maxSweepBudget {
@@ -545,7 +638,10 @@ func (s *Server) handleBuildLike(w http.ResponseWriter, r *http.Request, sweep b
 		}
 		budgets = key.Budget
 	}
-	if s.ready(key, sweep) {
+	// Sharded builds never short-circuit on the cataloged whole: the
+	// pieces live on other nodes and cannot be checked locally, and a
+	// rebuild is deterministic and idempotent.
+	if shards <= 1 && s.ready(key, sweep) {
 		writeJSON(w, http.StatusOK, BuildResponse{Key: key, Status: "ready", Budgets: budgets})
 		return
 	}
@@ -559,7 +655,7 @@ func (s *Server) handleBuildLike(w http.ResponseWriter, r *http.Request, sweep b
 	// once it is actually queued — so a job found in pending is always
 	// one a worker will complete, and a failed enqueue is visible to
 	// nobody.
-	jk := jobKey{key, sweep}
+	jk := jobKey{key, sweep, shards}
 	kind := jobBuild
 	if sweep {
 		kind = jobSweep
@@ -567,7 +663,7 @@ func (s *Server) handleBuildLike(w http.ResponseWriter, r *http.Request, sweep b
 	s.pendingMu.Lock()
 	job, inflight := s.pending[jk]
 	if !inflight {
-		job = &buildJob{kind: kind, key: key, done: make(chan struct{})}
+		job = &buildJob{kind: kind, key: key, shards: shards, done: make(chan struct{})}
 		if code, err := s.enqueue(job); err != nil {
 			s.pendingMu.Unlock()
 			writeError(w, http.StatusServiceUnavailable, code, "%v", err)
@@ -732,6 +828,15 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, update boo
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	shard, shards, hasShard, err := shardParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if shards >= 2 {
+		s.handleShardedEstimate(w, r, shard, shards, hasShard)
+		return
+	}
 	key, entry, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -751,6 +856,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRangeSum(w http.ResponseWriter, r *http.Request) {
+	shard, shards, hasShard, err := shardParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if shards >= 2 {
+		s.handleShardedRangeSum(w, r, shard, shards, hasShard)
+		return
+	}
 	key, entry, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -844,6 +958,11 @@ func (s *Server) resolveBatchKey(bk query.BatchKey) (query.Querier, int, *query.
 	key, err := catalog.NewKeyQ(bk.Dataset, bk.Family, bk.Metric, bk.Budget, c, bk.Q)
 	if err != nil {
 		return nil, 0, &query.OpError{Code: CodeBadRequest, Message: err.Error()}
+	}
+	if bk.Shards >= 2 {
+		// A sharded key answers through a composite querier over its
+		// pieces, remote ones fetched once per batch.
+		return s.resolveShardedKey(key, bk.Shards)
 	}
 	entry, ok := s.cfg.Catalog.Get(key)
 	if !ok {

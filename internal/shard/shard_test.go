@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoundsTile(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 65536} {
+		for _, k := range []int{1, 2, 3, 4, 8} {
+			b := Bounds(n, k)
+			if b[0] != 0 || b[k] != n {
+				t.Fatalf("Bounds(%d,%d) = %v: endpoints wrong", n, k, b)
+			}
+			for s := 0; s < k; s++ {
+				if b[s+1] < b[s] {
+					t.Fatalf("Bounds(%d,%d) = %v: not monotone", n, k, b)
+				}
+				if w := b[s+1] - b[s]; w > n/k+1 {
+					t.Fatalf("Bounds(%d,%d) = %v: shard %d width %d not near-equal", n, k, b, s, w)
+				}
+			}
+		}
+	}
+}
+
+// bruteAlloc enumerates every split of total across k shards (each >= 1,
+// clamped at its cap for pricing) and returns the optimal combined cost.
+func bruteAlloc(total int, caps []int, cumulative bool, cost func(s, b int) float64) float64 {
+	k := len(caps)
+	best := math.Inf(1)
+	var rec func(s, left int, acc float64)
+	rec = func(s, left int, acc float64) {
+		if s == k-1 {
+			if left < 1 {
+				return
+			}
+			b := min(left, caps[s])
+			c := cost(s, b)
+			if cumulative {
+				c += acc
+			} else {
+				c = math.Max(c, acc)
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for b := 1; b <= left-(k-1-s); b++ {
+			c := cost(s, min(b, caps[s]))
+			if cumulative {
+				rec(s+1, left-b, acc+c)
+			} else {
+				rec(s+1, left-b, math.Max(acc, c))
+			}
+		}
+	}
+	rec(0, total, 0)
+	return best
+}
+
+func TestAllocateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(4)
+		caps := make([]int, k)
+		frontiers := make([][]float64, k)
+		for s := range caps {
+			caps[s] = 1 + rng.Intn(6)
+			// Random non-increasing frontier.
+			f := make([]float64, caps[s]+1)
+			v := 10 * rng.Float64()
+			for b := 1; b <= caps[s]; b++ {
+				f[b] = v
+				v *= rng.Float64()
+			}
+			frontiers[s] = f
+		}
+		cost := func(s, b int) float64 { return frontiers[s][b] }
+		for _, cumulative := range []bool{true, false} {
+			maxTotal := k + rng.Intn(12)
+			a, err := Allocate(maxTotal, caps, cumulative, cost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for total := k; total <= maxTotal; total++ {
+				want := bruteAlloc(total, caps, cumulative, cost)
+				if got := a.Cost(total); got != want {
+					t.Fatalf("trial %d cum=%v: Cost(%d) = %v, brute force %v (caps %v)",
+						trial, cumulative, total, got, want, caps)
+				}
+				// The recovered split must achieve the cost it claims.
+				split := a.Split(total)
+				sum, achieved := 0, 0.0
+				if !cumulative {
+					achieved = math.Inf(-1)
+				}
+				for s, b := range split {
+					if b < 1 || b > caps[s] {
+						t.Fatalf("split %v entry %d outside [1, %d]", split, s, caps[s])
+					}
+					sum += b
+					if cumulative {
+						achieved += cost(s, b)
+					} else {
+						achieved = math.Max(achieved, cost(s, b))
+					}
+				}
+				if sum > total {
+					t.Fatalf("split %v spends %d > total %d", split, sum, total)
+				}
+				if math.Abs(achieved-a.Cost(total)) > 1e-12*math.Max(1, achieved) {
+					t.Fatalf("split %v achieves %v, table says %v", split, achieved, a.Cost(total))
+				}
+			}
+		}
+	}
+}
+
+func TestAllocateRejectsBadInputs(t *testing.T) {
+	cost := func(_, _ int) float64 { return 0 }
+	if _, err := Allocate(3, nil, true, cost); err == nil {
+		t.Fatal("no shards accepted")
+	}
+	if _, err := Allocate(1, []int{1, 1}, true, cost); err == nil {
+		t.Fatal("total below k accepted")
+	}
+	if _, err := Allocate(3, []int{1, 0}, true, cost); err == nil {
+		t.Fatal("zero cap accepted")
+	}
+}

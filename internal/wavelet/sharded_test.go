@@ -1,0 +1,191 @@
+package wavelet_test
+
+// Sharded-build correctness: the SSE merge must be element-identical to
+// the unsharded build (the property the cluster's exactness rests on),
+// the DP-family merge must cost at least the unsharded optimum and at
+// most optimum + Bound, and everything must be bit-identical across
+// fan concurrency, worker counts, and budgets.
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"probsyn/internal/metric"
+	"probsyn/internal/ptest"
+	"probsyn/internal/wavelet"
+)
+
+func relClose(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestShardedSSEIdenticalToUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{8, 32, 48} { // 48 exercises pad-to-64
+		src := ptest.RandomValuePDF(rng, n, 3)
+		for _, k := range []int{2, 4, 8} {
+			for _, B := range []int{0, 1, 5, 16, n} {
+				want, wantRep, err := wavelet.BuildSSE(src, B)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, conc := range []int{1, runtime.NumCPU()} {
+					res, rep, err := wavelet.BuildShardedSSE(src, B, k, conc)
+					if err != nil {
+						t.Fatalf("n=%d k=%d B=%d: %v", n, k, B, err)
+					}
+					label := "sse-sharded"
+					synopsesIdentical(t, label, want, res.Merged, want.Cost, res.Merged.Cost)
+					if *rep != *wantRep {
+						t.Fatalf("n=%d k=%d B=%d: report %+v != unsharded %+v", n, k, B, rep, wantRep)
+					}
+					if res.Bound != 0 {
+						t.Fatalf("SSE merge bound = %v, want 0 (exact)", res.Bound)
+					}
+					// Pieces are the merged synopsis seen from each shard:
+					// same reconstruction, shard by shard.
+					full := res.Merged.Reconstruct()
+					w := res.Merged.N / k
+					for s, piece := range res.Pieces {
+						if piece.N != w {
+							t.Fatalf("piece %d domain %d, want %d", s, piece.N, w)
+						}
+						for i, v := range piece.Reconstruct() {
+							if !relClose(v, full[s*w+i], 1e-9) {
+								t.Fatalf("n=%d k=%d B=%d: piece %d item %d reconstructs %v, merged %v",
+									n, k, B, s, i, v, full[s*w+i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShardedRestrictedWithinBoundOfOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	p := metric.Params{C: 0.5}
+	src := ptest.RandomValuePDF(rng, 32, 3)
+	for _, kind := range []metric.Kind{metric.SAE, metric.SSEFixed, metric.MAE} {
+		for _, k := range []int{2, 4} {
+			for _, B := range []int{k, 8, 16} {
+				res, err := wavelet.BuildShardedRestricted(src, kind, p, B, k, 0, finePool(2), 2)
+				if err != nil {
+					t.Fatalf("%v k=%d B=%d: %v", kind, k, B, err)
+				}
+				if err := res.Merged.Validate(); err != nil {
+					t.Fatalf("%v k=%d B=%d: merged invalid: %v", kind, k, B, err)
+				}
+				if got := len(res.Merged.Indices); got > B {
+					t.Fatalf("%v k=%d B=%d: merged has %d terms", kind, k, B, got)
+				}
+				_, opt, err := wavelet.BuildRestrictedPool(src, kind, p, B, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Merged.Cost < opt && !relClose(res.Merged.Cost, opt, 1e-9) {
+					t.Fatalf("%v k=%d B=%d: sharded cost %v below optimum %v", kind, k, B, res.Merged.Cost, opt)
+				}
+				if res.Merged.Cost > opt+res.Bound && !relClose(res.Merged.Cost, opt+res.Bound, 1e-9) {
+					t.Fatalf("%v k=%d B=%d: sharded cost %v exceeds optimum %v + bound %v",
+						kind, k, B, res.Merged.Cost, opt, res.Bound)
+				}
+				// The reported cost is the true expected error of the
+				// merged synopsis (up to summation order).
+				pe, err := wavelet.NewPointErrors(src, kind, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if truth := pe.SynopsisError(res.Merged); !relClose(truth, res.Merged.Cost, 1e-9) {
+					t.Fatalf("%v k=%d B=%d: merged cost %v but exact evaluation %v",
+						kind, k, B, res.Merged.Cost, truth)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRestrictedDeterministic: fan concurrency, pool workers, and
+// (by slot-indexed merging) shard completion order cannot change a bit.
+func TestShardedRestrictedDeterministic(t *testing.T) {
+	src := ptest.RandomValuePDF(rand.New(rand.NewSource(7)), 64, 3)
+	p := metric.Params{C: 0.5}
+	base, err := wavelet.BuildShardedRestricted(src, metric.SAE, p, 12, 4, 0, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		for _, conc := range []int{1, 2, 4} {
+			res, err := wavelet.BuildShardedRestricted(src, metric.SAE, p, 12, 4, 0, finePool(workers), conc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			synopsesIdentical(t, "sharded-restricted", base.Merged, res.Merged, base.Merged.Cost, res.Merged.Cost)
+			if res.Bound != base.Bound {
+				t.Fatalf("workers=%d conc=%d: bound %v != %v", workers, conc, res.Bound, base.Bound)
+			}
+			for s := range res.Pieces {
+				synopsesIdentical(t, "piece", base.Pieces[s], res.Pieces[s], base.Pieces[s].Cost, res.Pieces[s].Cost)
+			}
+		}
+	}
+}
+
+// TestShardedRestrictedPiecesComposeMerged: each piece reconstructs the
+// merged synopsis's restriction to its shard — the invariant scatter/
+// gather serving relies on.
+func TestShardedRestrictedPiecesComposeMerged(t *testing.T) {
+	src := ptest.RandomValuePDF(rand.New(rand.NewSource(11)), 32, 3)
+	res, err := wavelet.BuildShardedRestricted(src, metric.SSEFixed, metric.Params{}, 10, 4, 0, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res.Merged.Reconstruct()
+	w := res.Merged.N / 4
+	for s, piece := range res.Pieces {
+		for i, v := range piece.Reconstruct() {
+			if !relClose(v, full[s*w+i], 1e-9) {
+				t.Fatalf("piece %d item %d reconstructs %v, merged %v", s, i, v, full[s*w+i])
+			}
+		}
+	}
+}
+
+func TestShardedRestrictedQuantizedWithinBound(t *testing.T) {
+	src := ptest.RandomValuePDF(rand.New(rand.NewSource(29)), 64, 3)
+	p := metric.Params{C: 0.5}
+	const B, k, q = 12, 4, 4
+	res, err := wavelet.BuildShardedRestricted(src, metric.SAE, p, B, k, q, finePool(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := wavelet.BuildRestrictedPool(src, metric.SAE, p, B, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged.Cost < opt && !relClose(res.Merged.Cost, opt, 1e-9) {
+		t.Fatalf("quantized sharded cost %v below exact optimum %v", res.Merged.Cost, opt)
+	}
+	if res.Merged.Cost > opt+res.Bound {
+		t.Fatalf("quantized sharded cost %v exceeds optimum %v + bound %v", res.Merged.Cost, opt, res.Bound)
+	}
+}
+
+func TestShardedArgumentErrors(t *testing.T) {
+	src := ptest.RandomValuePDF(rand.New(rand.NewSource(3)), 16, 2)
+	if _, _, err := wavelet.BuildShardedSSE(src, 4, 3, 1); err == nil {
+		t.Fatal("k=3 (not a power of two) accepted")
+	}
+	if _, _, err := wavelet.BuildShardedSSE(src, 4, 1, 1); err == nil {
+		t.Fatal("k=1 accepted by the sharded merge")
+	}
+	if _, _, err := wavelet.BuildShardedSSE(src, 4, 32, 1); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := wavelet.BuildShardedRestricted(src, metric.SAE, metric.Params{C: 0.5}, 3, 4, 0, nil, 1); err == nil {
+		t.Fatal("B < k accepted by the sharded restricted build")
+	}
+}

@@ -116,13 +116,28 @@ func SweepRestrictedApproxPool(src pdata.Source, kind metric.Kind, p metric.Para
 // sweepRestricted is the shared restricted-DP frontier: exact when q is
 // 0, incoming-value quantized when q >= 2.
 func sweepRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, pool *engine.Pool) (*Sweep, error) {
+	sw, _, err := sweepRestrictedOpt(src, kind, p, B, q, false, pool)
+	return sw, err
+}
+
+// sweepRestrictedOpt is sweepRestricted with the sharded merge's two
+// extras: forced pins the root coefficient retained at its expected
+// value (one budget unit spent on c0, the rest optimized over the
+// details — the per-shard sweeps of a sharded build, whose local c0
+// must survive into the merged synopsis), and the PointErrors is
+// returned so the sharded bound can price reconstruction slack without
+// rebuilding it.
+func sweepRestrictedOpt(src pdata.Source, kind metric.Kind, p metric.Params, B, q int, forced bool, pool *engine.Pool) (*Sweep, *PointErrors, error) {
 	if B < 0 {
-		return nil, fmt.Errorf("wavelet: negative budget %d", B)
+		return nil, nil, fmt.Errorf("wavelet: negative budget %d", B)
+	}
+	if forced && B < 1 {
+		return nil, nil, fmt.Errorf("wavelet: forced-root sweep needs budget >= 1, got %d", B)
 	}
 	vp := padValuePDF(pdata.AsValuePDF(src))
 	pe, err := NewPointErrors(vp, kind, p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := vp.N
 	cvals := haar.Forward(vp.ExpectedFreqs())
@@ -130,9 +145,11 @@ func sweepRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q i
 		B = n
 	}
 	if n == 1 {
-		return singletonSweep(B, func(b int) *Synopsis {
-			return restrictedSingleton(pe, cvals[0], b)
-		}), nil
+		at := func(b int) *Synopsis { return restrictedSingleton(pe, cvals[0], b) }
+		if forced {
+			at = func(int) *Synopsis { return restrictedSingletonForced(pe, cvals[0]) }
+		}
+		return singletonSweep(B, at), pe, nil
 	}
 	// The restricted problem is the shared tree DP with a single
 	// candidate per coefficient: its expected value.
@@ -140,7 +157,11 @@ func sweepRestricted(src pdata.Source, kind metric.Kind, p metric.Params, B, q i
 	for j := range cands {
 		cands[j] = cvals[j : j+1]
 	}
-	return dpSweep(n, B, cands, pe, kind.Cumulative(), q, pool)
+	sw, err := dpSweep(n, B, cands, pe, kind.Cumulative(), q, forced, pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sw, pe, nil
 }
 
 // SweepUnrestricted is SweepUnrestrictedPool with a nil (serial) pool.
@@ -174,7 +195,7 @@ func SweepUnrestrictedPool(src pdata.Source, kind metric.Kind, p metric.Params, 
 			return unrestrictedSingleton(pe, cands[0], b)
 		}), nil
 	}
-	return dpSweep(n, B, cands, pe, kind.Cumulative(), 0, pool)
+	return dpSweep(n, B, cands, pe, kind.Cumulative(), 0, false, pool)
 }
 
 // SweepSSE is the frontier of the greedy SSE-optimal build (Theorem 7):
@@ -228,13 +249,17 @@ func SweepSSE(src pdata.Source, B int) (*Sweep, error) {
 // expected error — never below the exact optimum, since the synopsis is
 // a feasible exact solution) and the sweep carries the DP's additive
 // suboptimality bound.
-func dpSweep(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, quant int, pool *engine.Pool) (*Sweep, error) {
+func dpSweep(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, quant int, forced bool, pool *engine.Pool) (*Sweep, error) {
 	d, err := newTreeDP(n, B, cands, pe, cumulative, quant, pool)
 	if err != nil {
 		return nil, err
 	}
+	extract, costAt := d.extract, d.cost
+	if forced {
+		extract, costAt = d.extractForced, d.costForced
+	}
 	at := func(b int) *Synopsis {
-		keep, best := d.extract(b)
+		keep, best := extract(b)
 		syn := synopsisFromChoices(n, keep)
 		if d.quant > 0 {
 			syn.Cost = pe.SynopsisError(syn)
@@ -248,7 +273,7 @@ func dpSweep(n, B int, cands [][]float64, pe *PointErrors, cumulative bool, quan
 		if d.quant > 0 {
 			costs[b-1] = at(b).Cost
 		} else {
-			costs[b-1] = d.cost(b)
+			costs[b-1] = costAt(b)
 		}
 	}
 	return &Sweep{

@@ -733,6 +733,87 @@ func (d *treeDP) extractRootLeaf(b int) ([]coefChoice, float64) {
 }
 
 // ---------------------------------------------------------------------------
+// Forced-root extraction: the sharded merge's per-shard sweeps.
+//
+// A sharded restricted build pins every shard's local c0 (the shard
+// average) so that the merged synopsis reconstructs each shard exactly
+// as the shard's local solution does once the global top tree is
+// retained in full. The forced variants re-derive the optimum over
+// solutions that RETAIN the root coefficient — same kept tables, same
+// forward comparisons, just with the root's drop decision excluded — so
+// a forced extraction at budget b spends one coefficient on c0 and
+// distributes b-1 over the details, bit-identically to a DP that never
+// had the drop option.
+
+// extractForced is extract restricted to root-retaining solutions;
+// b (clamped to [1, B]) includes the forced root coefficient.
+func (d *treeDP) extractForced(b int) ([]coefChoice, float64) {
+	if b > d.B {
+		b = d.B
+	}
+	if b < 1 {
+		b = 1
+	}
+	if d.levels == 1 {
+		return d.extractRootLeafForced(b)
+	}
+	bestD, best := d.rootBestForced(b)
+	w := d.cands[0][bestD-1]
+	keep := []coefChoice{{0, w}}
+	d.walk(0, 1, bestD, w, b-1, &keep)
+	return keep, best
+}
+
+// costForced is cost restricted to root-retaining solutions.
+func (d *treeDP) costForced(b int) float64 {
+	if b > d.B {
+		b = d.B
+	}
+	if b < 1 {
+		b = 1
+	}
+	if d.levels == 1 {
+		_, c := d.extractRootLeafForced(b)
+		return c
+	}
+	_, best := d.rootBestForced(b)
+	return best
+}
+
+// rootBestForced scans only the root's retain decisions, in candidate
+// order with strict <, matching rootBest's tie-break among them.
+func (d *treeDP) rootBestForced(b int) (int, float64) {
+	entries := d.bcap[0] + 1
+	block := func(s int) []float64 { return d.res[0][s*entries : (s+1)*entries] }
+	best := block(1)[min(b-1, d.bcap[0])]
+	bestD := 1
+	for c := 1; c < len(d.cands[0]); c++ {
+		if v := block(c + 1)[min(b-1, d.bcap[0])]; v < best {
+			best, bestD = v, c+1
+		}
+	}
+	return bestD, best
+}
+
+// extractRootLeafForced is extractRootLeaf with the root's drop decision
+// excluded (n == 2, b >= 1).
+func (d *treeDP) extractRootLeafForced(b int) ([]coefChoice, float64) {
+	tbl := make([]float64, min(b-1, 1)+1)
+	best := math.Inf(1)
+	bestD := 1
+	for dd := 1; dd <= len(d.cands[0]); dd++ {
+		d.leafTables(1, d.cands[0][dd-1], tbl)
+		if c := tbl[min(b-1, 1)]; c < best {
+			best, bestD = c, dd
+		}
+	}
+	v := d.cands[0][bestD-1]
+	keep := []coefChoice{{0, v}}
+	d.walkLeaf(1, v, b-1, &keep)
+	return keep, best
+}
+
+// ---------------------------------------------------------------------------
 // Dirty-path repair: incremental maintenance of the kept level tables.
 //
 // A state block's entries depend on (a) the point errors of the items in

@@ -1,0 +1,191 @@
+package probsyn
+
+import (
+	"context"
+	"fmt"
+
+	"probsyn/internal/engine"
+	"probsyn/internal/haar"
+	"probsyn/internal/hist"
+	"probsyn/internal/pdata"
+	"probsyn/internal/shard"
+	"probsyn/internal/wavelet"
+)
+
+// ShardedResult is a domain-sharded build: the item domain is split into
+// k contiguous shards, each shard's synopsis is built independently (and
+// concurrently), and the per-shard solutions are merged under the global
+// term budget. The per-shard solutions survive as Pieces — Pieces[s] is
+// shard s's synopsis over its own local domain [0, Bounds[s+1]-Bounds[s]),
+// covering global items [Bounds[s], Bounds[s+1]) — so a cluster can serve
+// range queries from pieces without ever assembling the merged synopsis.
+type ShardedResult struct {
+	// Synopsis is the merged global synopsis over the full domain.
+	Synopsis Synopsis
+	// Pieces are the k per-shard synopses over their local subdomains.
+	Pieces []Synopsis
+	// Bounds are the k+1 global item boundaries of the shards, as
+	// returned by ShardBounds: Pieces[s] covers [Bounds[s], Bounds[s+1]).
+	Bounds []int
+	// Bound is the additive suboptimality certificate:
+	// Synopsis.ErrorCost() <= unsharded optimum + Bound. It is exactly 0
+	// for the SSE wavelet family, whose sharded merge is exact.
+	Bound float64
+}
+
+// ShardBounds returns the k+1 global item boundaries a k-way sharded
+// build uses over a domain of n items: near-equal contiguous ranges,
+// shard s covering [s*n/k, (s+1)*n/k). Wavelet builds shard the
+// zero-padded power-of-two domain (pass wavelet=true), so their
+// boundaries divide haar.Pow2Ceil(n) instead of n; a cluster node can
+// recompute the same boundaries from (n, k) alone, with no coordination.
+func ShardBounds(n, k int, wavelet bool) []int {
+	if wavelet {
+		n = haar.Pow2Ceil(n)
+	}
+	return shard.Bounds(n, k)
+}
+
+// BuildSharded builds a B-term synopsis by splitting the domain into k
+// contiguous shards, building each shard concurrently, and merging:
+//
+//   - SSE/SSEFixed wavelets merge per-shard coefficient selections into
+//     the exact global top-B — bit-identical to the unsharded build,
+//     expected SSE included (Bound = 0);
+//   - histograms and the restricted wavelet DP metrics solve each shard
+//     to a cost-vs-budget frontier and split B across shards by an exact
+//     allocation DP, with the reported cost the true combined expected
+//     error and Bound certifying it against the unsharded optimum.
+//
+// k = 1 is the unsharded build (one piece spanning the domain); wavelet
+// shard counts must be powers of two. The DP families need B >= k (every
+// shard retains at least one term). On a pool with a MaxBuilds admission
+// cap, a k-way sharded build holds up to k build tokens — acquired
+// all-or-nothing, and gracefully degrading to fewer (serializing shards)
+// when the cap is smaller — so a cluster of sharded builds cannot
+// oversubscribe the pool. Accepts WithQuantize for the restricted
+// wavelet family; WithEps and WithUnrestricted have no sharded merge
+// rule and are rejected.
+func BuildSharded(src Source, m Metric, B, k int, opts ...BuildOption) (*ShardedResult, error) {
+	cfg := buildConfig{params: DefaultParams(), parallelism: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.shardsSet {
+		return nil, fmt.Errorf("probsyn: BuildSharded takes the shard count directly; drop WithShards")
+	}
+	return buildSharded(src, m, B, k, &cfg)
+}
+
+func buildSharded(src Source, m Metric, B, k int, cfg *buildConfig) (*ShardedResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("probsyn: shard count %d < 1", k)
+	}
+	if cfg.epsSet {
+		return nil, fmt.Errorf("probsyn: the (1+eps)-approximate DP has no sharded merge rule")
+	}
+	if cfg.quantizeSet {
+		return nil, fmt.Errorf("probsyn: unrestricted coefficient values have no sharded merge rule")
+	}
+	if k == 1 {
+		syn, err := buildOne(src, m, B, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedResult{
+			Synopsis: syn,
+			Pieces:   []Synopsis{syn},
+			Bounds:   ShardBounds(src.Domain(), 1, cfg.wavelet),
+		}, nil
+	}
+	pool := cfg.pool
+	if pool == nil {
+		pool = engine.New(engine.Options{Workers: cfg.parallelism})
+	}
+	// Admission: ask for one build token per shard, all-or-nothing so
+	// concurrent multi-token holders cannot deadlock a capped pool, and
+	// fan the per-shard builds at whatever width was granted.
+	granted, release, err := pool.AcquireN(context.Background(), k)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if cfg.wavelet {
+		return buildShardedWavelet(src, m, B, k, cfg, pool, granted)
+	}
+	return buildShardedHistogram(src, m, B, k, cfg, pool, granted)
+}
+
+func buildShardedWavelet(src Source, m Metric, B, k int, cfg *buildConfig, pool *engine.Pool, conc int) (*ShardedResult, error) {
+	if cfg.weights != nil {
+		return nil, fmt.Errorf("probsyn: workload weights are a histogram option")
+	}
+	bounds := ShardBounds(src.Domain(), k, true)
+	if m == SSE || m == SSEFixed {
+		if cfg.rquantSet {
+			return nil, fmt.Errorf("probsyn: the SSE wavelet build is greedy-exact (Theorem 7); incoming-value quantization applies to the restricted DP metrics")
+		}
+		res, _, err := wavelet.BuildShardedSSE(src, B, k, conc)
+		if err != nil {
+			return nil, err
+		}
+		return rootSharded(res.Merged, res.Pieces, bounds, res.Bound), nil
+	}
+	q := 0
+	if cfg.rquantSet {
+		q = cfg.rquant
+	}
+	res, err := wavelet.BuildShardedRestricted(src, m, cfg.params, B, k, q, pool, conc)
+	if err != nil {
+		return nil, err
+	}
+	return rootSharded(res.Merged, res.Pieces, bounds, res.Bound), nil
+}
+
+// buildShardedHistogram prices shards against the source's per-item
+// marginal value pdf. That is lossless: every bucket-cost oracle is a
+// per-item expectation aggregated over the bucket, so it depends on the
+// per-item marginals only, and AsValuePDF preserves those for all three
+// data models.
+func buildShardedHistogram(src Source, m Metric, B, k int, cfg *buildConfig, pool *engine.Pool, conc int) (*ShardedResult, error) {
+	if cfg.rquantSet {
+		return nil, fmt.Errorf("probsyn: incoming-value quantization is a wavelet option")
+	}
+	vp := pdata.AsValuePDF(src)
+	if k > vp.N {
+		return nil, fmt.Errorf("probsyn: %d shards over %d items (need k <= n)", k, vp.N)
+	}
+	bounds := shard.Bounds(vp.N, k)
+	oracles := make([]hist.Oracle, k)
+	for s := range oracles {
+		svp := &pdata.ValuePDF{N: bounds[s+1] - bounds[s], Items: vp.Items[bounds[s]:bounds[s+1]]}
+		scfg := *cfg
+		if cfg.weights != nil {
+			if len(cfg.weights) != vp.N {
+				return nil, fmt.Errorf("probsyn: %d workload weights for %d items", len(cfg.weights), vp.N)
+			}
+			scfg.weights = cfg.weights[bounds[s]:bounds[s+1]]
+		}
+		o, err := histOracle(svp, m, &scfg)
+		if err != nil {
+			return nil, err
+		}
+		oracles[s] = o
+	}
+	res, err := hist.BuildSharded(oracles, bounds, B, pool, conc)
+	if err != nil {
+		return nil, err
+	}
+	return rootSharded(res.Merged, res.Pieces, bounds, res.Bound), nil
+}
+
+// rootSharded lifts a family-layer sharded result (concrete synopsis
+// pointers) into the interface-typed root result.
+func rootSharded[S Synopsis](merged S, pieces []S, bounds []int, bound float64) *ShardedResult {
+	out := &ShardedResult{Synopsis: merged, Bounds: bounds, Bound: bound}
+	out.Pieces = make([]Synopsis, len(pieces))
+	for i, p := range pieces {
+		out.Pieces[i] = p
+	}
+	return out
+}
