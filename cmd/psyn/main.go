@@ -35,6 +35,13 @@
 // the two responses are cmp-identical over the same catalog:
 //
 //	psyn -query batch.json -out ./catalog
+//
+// With -pack, a catalog directory's .psyn envelopes are packed into the
+// flat mmap file psynd boots from with -flat (see internal/catalog).
+// Packing is deterministic: the same logical catalog packs to the same
+// bytes here, on a server's background re-pack, or anywhere else:
+//
+//	psyn -pack ./catalog
 package main
 
 import (
@@ -89,6 +96,7 @@ func run(args []string, stdout io.Writer) error {
 		flagAppend   = fs.String("append", "", "value-model dataset file whose items extend the -input dataset; every synopsis for -dataset in the -out catalog directory is revalidated and rewritten")
 		flagSaveData = fs.String("save-data", "", "with -append: write the merged dataset to this file")
 		flagQuery    = fs.String("query", "", "batch request file (POST /v1/query JSON body) answered offline from the -out catalog directory; the response JSON is written to stdout, byte-identical to a served one")
+		flagPack     = fs.String("pack", "", "pack this catalog directory's synopses into its flat mmap file (catalog.flat) for millisecond psynd -flat boots; deterministic, byte-identical to the server's own re-packs")
 		flagShards   = fs.Int("shards", 0, "if >= 2, build sharded: split the domain into this many contiguous ranges, build each in parallel, and merge (exact for SSE wavelets; DP families report a certified additive suboptimality bound); with -out (a catalog directory), the merged synopsis and every piece are saved under key-encoded filenames")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +104,9 @@ func run(args []string, stdout io.Writer) error {
 			return nil // -h/-help: usage already printed, exit 0
 		}
 		return errParse
+	}
+	if *flagPack != "" {
+		return runPack(stdout, *flagPack)
 	}
 	if *flagQuery != "" {
 		return runQuery(stdout, *flagQuery, *flagOut, *flagC)
@@ -303,6 +314,29 @@ func runAppend(stdout io.Writer, src probsyn.Source, appendPath, dataset, outDir
 		}
 		fmt.Fprintf(stdout, "saved merged dataset to %s\n", saveData)
 	}
+	return nil
+}
+
+// runPack loads every .psyn envelope in the catalog directory and packs
+// the flat mmap file beside them. The entry ordering and serialization
+// are fixed by the format, so this file is byte-identical to the one a
+// psynd -flat server re-packs for the same logical catalog — replicas
+// can rsync it, cmp it, or content-address it.
+func runPack(stdout io.Writer, dir string) error {
+	c := catalog.New()
+	n, err := c.LoadDir(dir)
+	if err != nil {
+		return err
+	}
+	path := catalog.FlatPath(dir)
+	if _, err := catalog.Pack(path, c.List()); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "packed %d synopses into %s (%d bytes)\n", n, path, st.Size())
 	return nil
 }
 

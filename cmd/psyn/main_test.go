@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"probsyn"
+	"probsyn/internal/catalog"
 	"probsyn/internal/gen"
 )
 
@@ -585,5 +586,64 @@ func TestRunShardedValidation(t *testing.T) {
 	}
 	if err := run([]string{"-input", dataset, "-shards", "2", "-sweep"}, io.Discard); err == nil {
 		t.Fatal("-shards -sweep accepted")
+	}
+}
+
+// -pack builds the flat mmap file psynd -flat boots from. The output
+// must be deterministic and byte-identical to the pack a server's
+// background keeper writes for the same logical catalog — that identity
+// is what lets replicas rsync or content-address the file.
+func TestRunPack(t *testing.T) {
+	dir := t.TempDir()
+	dataset, _ := writeDataset(t, dir)
+	outDir := filepath.Join(dir, "cat")
+	if err := run([]string{"-input", dataset, "-metric", "SSE", "-buckets", "4",
+		"-sweep", "-dataset", "ds", "-out", outDir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-pack", outDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "packed 4 synopses") {
+		t.Fatalf("pack report:\n%s", out.String())
+	}
+	path := catalog.FlatPath(outDir)
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := catalog.OpenFlat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("flat file holds %d entries, want 4", f.Len())
+	}
+	f.Close()
+
+	// Byte identity with the in-process pack the server's keeper writes.
+	c := catalog.New()
+	if _, err := c.LoadDir(outDir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := catalog.PackBytes(c.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatal("-pack output differs from an in-process PackBytes of the same catalog")
+	}
+
+	// Determinism across repeated invocations.
+	if err := run([]string{"-pack", outDir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatal("re-pack changed the flat file bytes")
 	}
 }

@@ -18,6 +18,16 @@
 //	curl 'localhost:7075/v1/rangesum?dataset=ds&family=histogram&metric=SSE&budget=16&lo=0&hi=99'
 //	curl 'localhost:7075/v1/synopses'
 //
+// With -flat, the server boots from the catalog directory's flat mmap
+// file (packed by `psyn -pack` or a previous run of this server) and
+// serves its first query in milliseconds; the file is invalidated
+// before any catalog-changing work and re-packed in the background at
+// quiescence, so a crash at any instant leaves a directory that boots
+// correctly from the .psyn envelopes alone:
+//
+//	psyn -pack ./catalog
+//	psynd -addr 127.0.0.1:7075 -data ./data -catalog ./catalog -flat
+//
 // With -peers, several psynd processes form a scatter/gather cluster:
 // datasets and sharded-build pieces place on a consistent-hash ring
 // derived from the shared peer list, builds forward to the owning node,
@@ -88,6 +98,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		flagAddr     = fs.String("addr", "127.0.0.1:7075", "HTTP listen address")
 		flagData     = fs.String("data", "", "dataset directory: dataset NAME is NAME.pd in this directory (required)")
 		flagCatalog  = fs.String("catalog", "", "catalog directory: preload synopses at startup, persist new builds (optional)")
+		flagFlat     = fs.Bool("flat", false, "boot from the catalog directory's flat mmap file when present and maintain it across builds (requires -catalog)")
 		flagQueue    = fs.Int("queue", server.DefaultQueueDepth, "build queue depth; a full queue rejects builds with queue_full")
 		flagBuilders = fs.Int("build-workers", server.DefaultBuildWorkers, "goroutines draining the build queue")
 		flagMax      = fs.Int("max-builds", 2, "admission cap: builds running DPs concurrently on the shared pool (<= 0: unlimited)")
@@ -127,19 +138,45 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// workers, and at most -max-builds DPs dispatch at once.
 	pool := engine.New(engine.Options{Workers: *flagParallel, MaxBuilds: *flagMax})
 	cat := catalog.New()
+	flatPath := ""
+	if *flagFlat {
+		if *flagCatalog == "" {
+			return fmt.Errorf("-flat requires -catalog")
+		}
+		flatPath = catalog.FlatPath(*flagCatalog)
+	}
 	if *flagCatalog != "" {
 		if err := os.MkdirAll(*flagCatalog, 0o755); err != nil {
 			return err
 		}
-		n, err := cat.LoadDir(*flagCatalog)
-		if err != nil {
-			return err
+		if *flagFlat {
+			warnf := func(format string, args ...any) {
+				fmt.Fprintf(stdout, "psynd: "+format+"\n", args...)
+			}
+			// The Flat handle stays open for the process lifetime: the
+			// keeper's atomic rewrites replace the directory entry without
+			// disturbing this mapping, and view-backed queriers alias it.
+			flat, flatN, codecN, err := catalog.BootDir(cat, *flagCatalog, warnf)
+			if err != nil {
+				return err
+			}
+			if flat != nil {
+				defer flat.Close()
+			}
+			fmt.Fprintf(stdout, "psynd: loaded %d synopses from %s (%d flat, %d codec)\n",
+				flatN+codecN, *flagCatalog, flatN, codecN)
+		} else {
+			n, err := cat.LoadDir(*flagCatalog)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "psynd: loaded %d synopses from %s\n", n, *flagCatalog)
 		}
-		fmt.Fprintf(stdout, "psynd: loaded %d synopses from %s\n", n, *flagCatalog)
 	}
 	srv, err := server.New(server.Config{
 		DataDir:       *flagData,
 		CatalogDir:    *flagCatalog,
+		FlatPath:      flatPath,
 		Catalog:       cat,
 		Pool:          pool,
 		QueueDepth:    *flagQueue,

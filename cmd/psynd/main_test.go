@@ -393,3 +393,69 @@ func TestRunRejectsSelfWithoutPeers(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// -flat drives the whole replica-restart story at the binary level:
+// a first run builds and (on graceful shutdown) packs the flat file, a
+// restart boots from it in one mmap — reporting "N flat, 0 codec" — and
+// the flat-backed querier serves bit-identical estimates to the codec
+// path.
+func TestPsyndFlatBoot(t *testing.T) {
+	dataDir, catDir := t.TempDir(), t.TempDir()
+	src := writeDataset(t, dataDir)
+
+	base, _, stop := startPsynd(t, []string{"-data", dataDir, "-catalog", catDir, "-flat"})
+	body := `{"dataset":"ds","family":"histogram","metric":"SSE","budget":8,"wait":true}`
+	resp, err := http.Post(base+"/v1/build", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: status %d", resp.StatusCode)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// Graceful shutdown runs the keeper's final synchronous pack.
+	if _, err := os.Stat(catalog.FlatPath(catDir)); err != nil {
+		t.Fatalf("no flat file after graceful shutdown: %v", err)
+	}
+
+	base2, out2, stop2 := startPsynd(t, []string{"-data", dataDir, "-catalog", catDir, "-flat"})
+	if !strings.Contains(out2.String(), "(1 flat, 0 codec)") {
+		t.Fatalf("restart did not boot from the flat file:\n%s", out2.String())
+	}
+	syn, err := probsyn.Build(src, probsyn.SSE, 8, probsyn.WithParams(probsyn.Params{C: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Domain(); i += 7 {
+		url := fmt.Sprintf("%s/v1/estimate?dataset=ds&family=histogram&metric=SSE&budget=8&i=%d", base2, i)
+		r, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var er struct {
+			Estimate float64 `json:"estimate"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&er); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if want := syn.Estimate(i); er.Estimate != want {
+			t.Fatalf("flat-served Estimate(%d) = %v, offline %v", i, er.Estimate, want)
+		}
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("graceful shutdown after flat boot: %v", err)
+	}
+}
+
+// -flat is a catalog-directory feature; without -catalog there is
+// nothing to pack or boot from.
+func TestRunFlatRequiresCatalog(t *testing.T) {
+	err := run(context.Background(), []string{"-data", t.TempDir(), "-flat"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-flat requires -catalog") {
+		t.Fatalf("err = %v, want -flat requires -catalog", err)
+	}
+}

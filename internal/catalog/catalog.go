@@ -264,6 +264,20 @@ type Entry struct {
 	// budget) installs a whole new Entry, querier included, so a reader
 	// holding this entry always has the querier matching this synopsis.
 	Querier query.Querier
+	// lazy, when non-nil, is the entry's flat-catalog backing: its data
+	// block's checksum and shape validation are deferred to the first
+	// Get, so attaching a large flat catalog costs nothing per entry
+	// until the entry is actually served. Codec-loaded entries have nil
+	// lazy (their envelope CRC was checked at decode time).
+	lazy *flatLazy
+}
+
+// verify runs the entry's deferred validation, if any (memoized).
+func (e *Entry) verify() error {
+	if e.lazy == nil {
+		return nil
+	}
+	return e.lazy.ensure()
 }
 
 // Catalog is the in-memory registry. Reads (Get, List, Len) take the
@@ -315,12 +329,33 @@ func (c *Catalog) Delete(key Key) {
 	c.mu.Unlock()
 }
 
-// Get returns the entry for the key, if present.
+// Get returns the entry for the key, if present. A flat-backed entry
+// pays its deferred block validation here, on first fetch; one that
+// fails (a corrupt data block) is withdrawn and reported not-found —
+// not_found triggers a rebuild over the current data, which beats
+// serving wrong estimates from a damaged file.
 func (c *Catalog) Get(key Key) (*Entry, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	e, ok := c.entries[key]
-	return e, ok
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if err := e.verify(); err != nil {
+		if w := e.lazy.warnf; w != nil {
+			w("withdrawing flat catalog entry %v: %v", key, err)
+		}
+		// Withdraw only if the map still holds this exact entry — a
+		// concurrent republish may have already replaced it with a
+		// healthy one.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, false
+	}
+	return e, true
 }
 
 // Len returns the number of cataloged synopses.
@@ -338,32 +373,37 @@ func (c *Catalog) List() []*Entry {
 		out = append(out, e)
 	}
 	c.mu.RUnlock()
-	sort.Slice(out, func(a, b int) bool {
-		ka, kb := out[a].Key, out[b].Key
-		if ka.Dataset != kb.Dataset {
-			return ka.Dataset < kb.Dataset
-		}
-		if ka.Family != kb.Family {
-			return ka.Family < kb.Family
-		}
-		if ka.Metric != kb.Metric {
-			return ka.Metric < kb.Metric
-		}
-		if ka.C != kb.C {
-			return ka.C < kb.C
-		}
-		if ka.Q != kb.Q {
-			return ka.Q < kb.Q
-		}
-		if ka.Shards != kb.Shards {
-			return ka.Shards < kb.Shards
-		}
-		if ka.Shard != kb.Shard {
-			return ka.Shard < kb.Shard
-		}
-		return ka.Budget < kb.Budget
-	})
+	sort.Slice(out, func(a, b int) bool { return keyLess(out[a].Key, out[b].Key) })
 	return out
+}
+
+// keyLess is the catalog's one key ordering: List sorts by it and Pack
+// lays flat files out in it, which is what makes packing deterministic —
+// the same logical catalog serializes byte-identically wherever it is
+// packed.
+func keyLess(ka, kb Key) bool {
+	if ka.Dataset != kb.Dataset {
+		return ka.Dataset < kb.Dataset
+	}
+	if ka.Family != kb.Family {
+		return ka.Family < kb.Family
+	}
+	if ka.Metric != kb.Metric {
+		return ka.Metric < kb.Metric
+	}
+	if ka.C != kb.C {
+		return ka.C < kb.C
+	}
+	if ka.Q != kb.Q {
+		return ka.Q < kb.Q
+	}
+	if ka.Shards != kb.Shards {
+		return ka.Shards < kb.Shards
+	}
+	if ka.Shard != kb.Shard {
+		return ka.Shard < kb.Shard
+	}
+	return ka.Budget < kb.Budget
 }
 
 // Save persists the entry's synopsis into dir under its key-encoded
@@ -440,6 +480,15 @@ func (c *Catalog) SaveAll(dir string) (int, error) {
 // family its name claims) is an error — a corrupt catalog must fail
 // loudly at startup, not serve wrong estimates.
 func (c *Catalog) LoadDir(dir string) (int, error) {
+	return c.LoadDirFunc(dir, nil)
+}
+
+// LoadDirFunc is LoadDir with a skip predicate over raw filenames:
+// files it accepts are not loaded (or even key-parsed — the flat boot
+// path skips every file the attached flat catalog already covers, by
+// the name string the flat index recorded, so a covered file costs a
+// map probe instead of a parse).
+func (c *Catalog) LoadDirFunc(dir string, skip func(name string) bool) (int, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return 0, err
@@ -447,6 +496,9 @@ func (c *Catalog) LoadDir(dir string) (int, error) {
 	n := 0
 	for _, de := range des {
 		if de.IsDir() {
+			continue
+		}
+		if skip != nil && skip(de.Name()) {
 			continue
 		}
 		key, err := ParseFilename(de.Name())

@@ -1,0 +1,463 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probsyn/internal/hist"
+	"probsyn/internal/query"
+	"probsyn/internal/synopsis"
+	"probsyn/internal/wavelet"
+)
+
+// randHistogram assembles a random but valid histogram directly (no DP
+// build): a random contiguous bucket partition of [0, n) with random
+// representatives and costs. Hand assembly keeps the property tests
+// fast and the coverage independent of what the builders happen to
+// produce.
+func randHistogram(rng *rand.Rand, n int) *hist.Histogram {
+	b := 1 + rng.Intn(min(n, 12))
+	cuts := map[int]bool{}
+	for len(cuts) < b-1 {
+		cuts[1+rng.Intn(n-1)] = true
+	}
+	starts := []int{0}
+	for i := 1; i < n; i++ {
+		if cuts[i] {
+			starts = append(starts, i)
+		}
+	}
+	h := &hist.Histogram{N: n}
+	for k, s := range starts {
+		end := n - 1
+		if k+1 < len(starts) {
+			end = starts[k+1] - 1
+		}
+		cost := rng.Float64() * 10
+		h.Cost += cost
+		h.Buckets = append(h.Buckets, hist.Bucket{Start: s, End: end, Rep: rng.NormFloat64(), Cost: cost})
+	}
+	return h
+}
+
+// randWavelet assembles a random but valid wavelet synopsis over a
+// power-of-two domain: a random ascending subset of coefficient
+// indices (sometimes including the root, index 0) with random values.
+func randWavelet(rng *rand.Rand, n int) *wavelet.Synopsis {
+	terms := 1 + rng.Intn(min(n, 10))
+	idx := map[int]bool{}
+	if rng.Intn(2) == 0 {
+		idx[0] = true // root
+	}
+	for len(idx) < terms {
+		idx[rng.Intn(n)] = true
+	}
+	s := &wavelet.Synopsis{N: n, Cost: rng.Float64() * 10}
+	for i := 0; i < n; i++ {
+		if idx[i] {
+			s.Indices = append(s.Indices, i)
+			s.Values = append(s.Values, rng.NormFloat64())
+		}
+	}
+	return s
+}
+
+// randCatalog fills a catalog with count random entries alternating
+// between the families (wavelet domains drawn from pows, which may
+// exceed the dense-table limit to cover both lookup paths).
+func randCatalog(t *testing.T, rng *rand.Rand, count int, pows []int) *Catalog {
+	t.Helper()
+	c := New()
+	for i := 0; i < count; i++ {
+		var (
+			syn synopsis.Synopsis
+			fam string
+		)
+		if i%2 == 0 {
+			syn = randHistogram(rng, 2+rng.Intn(64))
+			fam = FamilyHistogram
+		} else {
+			syn = randWavelet(rng, pows[rng.Intn(len(pows))])
+			fam = FamilyWavelet
+		}
+		key, err := NewKey(fmt.Sprintf("ds%03d", i), fam, "SSE", 1+i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Put(key, syn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// sameBits fails the test unless the two queriers answer
+// Float64bits-identically on a point and range sample over the domain.
+func sameBits(t *testing.T, key Key, n int, got, want query.Querier, rng *rand.Rand) {
+	t.Helper()
+	points := n
+	if points > 256 {
+		points = 256
+	}
+	for s := 0; s < points; s++ {
+		i := s
+		if n > 256 {
+			i = rng.Intn(n)
+		}
+		g, w := got.Estimate(i), want.Estimate(i)
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("%v: Estimate(%d) = %v (bits %x), compiled %v (bits %x)",
+				key, i, g, math.Float64bits(g), w, math.Float64bits(w))
+		}
+	}
+	for s := 0; s < 64; s++ {
+		lo, hi := rng.Intn(n), rng.Intn(n)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		g, w := got.RangeSum(lo, hi), want.RangeSum(lo, hi)
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("%v: RangeSum(%d, %d) = %v (bits %x), compiled %v (bits %x)",
+				key, lo, hi, g, math.Float64bits(g), w, math.Float64bits(w))
+		}
+	}
+}
+
+// TestFlatRoundTripBitIdentical is the acceptance property: over random
+// synopses of both families (wavelet domains straddling the dense-table
+// limit), a packed-then-mapped catalog answers every query with the
+// exact float64 bits the compiled path produces.
+func TestFlatRoundTripBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pows := []int{2, 8, 64, 1024, query.WaveletDenseLimit, 2 * query.WaveletDenseLimit}
+	src := randCatalog(t, rng, 40, pows)
+	dir := t.TempDir()
+	if _, err := Pack(FlatPath(dir), src.List()); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := OpenFlat(FlatPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c := New()
+	if got := c.AttachFlat(f, t.Logf); got != src.Len() {
+		t.Fatalf("attached %d entries, packed %d", got, src.Len())
+	}
+	for _, want := range src.List() {
+		e, ok := c.Get(want.Key)
+		if !ok {
+			t.Fatalf("flat catalog lost %v", want.Key)
+		}
+		n := want.Synopsis.Domain()
+		if e.Synopsis.Domain() != n || e.Synopsis.Terms() != want.Synopsis.Terms() {
+			t.Fatalf("%v: metadata mismatch", want.Key)
+		}
+		if math.Float64bits(e.Synopsis.ErrorCost()) != math.Float64bits(want.Synopsis.ErrorCost()) {
+			t.Fatalf("%v: ErrorCost mismatch", want.Key)
+		}
+		if e.Bytes != want.Bytes {
+			t.Fatalf("%v: Bytes = %d, want %d", want.Key, e.Bytes, want.Bytes)
+		}
+		sameBits(t, want.Key, n, e.Querier, want.Querier, rng)
+		// The synopsis facade must answer identically too (it routes
+		// through the same querier).
+		if math.Float64bits(e.Synopsis.Estimate(0)) != math.Float64bits(want.Synopsis.Estimate(0)) {
+			t.Fatalf("%v: facade Estimate differs", want.Key)
+		}
+	}
+}
+
+// TestFlatCodecInterop: a flat-backed entry must round-trip the codec
+// byte-identically to the synopsis it stands for — Marshal resolves the
+// facade to a lazily materialized concrete synopsis.
+func TestFlatCodecInterop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randCatalog(t, rng, 8, []int{16, 64})
+	dir := t.TempDir()
+	if _, err := Pack(FlatPath(dir), src.List()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFlat(FlatPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c := New()
+	c.AttachFlat(f, nil)
+	for _, want := range src.List() {
+		wantBlob, err := synopsis.Marshal(want.Synopsis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, _ := c.Get(want.Key)
+		gotBlob, err := synopsis.Marshal(e.Synopsis)
+		if err != nil {
+			t.Fatalf("%v: marshal through facade: %v", want.Key, err)
+		}
+		if !bytes.Equal(gotBlob, wantBlob) {
+			t.Fatalf("%v: facade envelope differs from the original", want.Key)
+		}
+	}
+}
+
+// TestFlatPackDeterministic: packing the same logical catalog must be
+// byte-identical regardless of entry order — the offline psyn -pack and
+// the server's background re-pack are interchangeable.
+func TestFlatPackDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	src := randCatalog(t, rng, 12, []int{32})
+	entries := src.List()
+	a, err := PackBytes(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]*Entry(nil), entries...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b, err := PackBytes(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("pack order leaked into the file bytes")
+	}
+	// Re-packing a flat-attached catalog (what the server's background
+	// re-pack does after a flat boot) must also be byte-identical.
+	dir := t.TempDir()
+	if err := WriteBlob(FlatPath(dir), a); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFlat(FlatPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c := New()
+	c.AttachFlat(f, nil)
+	again, err := PackBytes(c.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, a) {
+		t.Fatal("re-pack of a flat-attached catalog differs from the original pack")
+	}
+}
+
+// TestBootDirFlat: BootDir attaches the flat file and codec-loads only
+// what it does not cover.
+func TestBootDirFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	src := randCatalog(t, rng, 10, []int{64})
+	dir := t.TempDir()
+	if _, err := src.SaveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pack(FlatPath(dir), src.List()); err != nil {
+		t.Fatal(err)
+	}
+	// One extra synopsis persisted after the pack: the flat file does
+	// not cover it, so the codec path must pick it up.
+	extraKey, err := NewKey("late-arrival", FamilyHistogram, "SSE", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := randHistogram(rng, 32)
+	blob, err := synopsis.Marshal(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBlob(filepath.Join(dir, extraKey.Filename()), blob); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	f, flatN, codecN, err := BootDir(c, dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("BootDir did not use the flat file")
+	}
+	defer f.Close()
+	if flatN != src.Len() || codecN != 1 {
+		t.Fatalf("flatN = %d codecN = %d, want %d and 1", flatN, codecN, src.Len())
+	}
+	if _, ok := c.Get(extraKey); !ok {
+		t.Fatal("codec-path entry missing after flat boot")
+	}
+	for _, want := range src.List() {
+		e, ok := c.Get(want.Key)
+		if !ok {
+			t.Fatalf("%v missing after flat boot", want.Key)
+		}
+		sameBits(t, want.Key, want.Synopsis.Domain(), e.Querier, want.Querier, rng)
+	}
+}
+
+// rewriteHeader recomputes the header CRC after a test mutates header
+// bytes, so the mutation under test is the only validation failure.
+func rewriteHeader(data []byte) {
+	binary.LittleEndian.PutUint32(data[60:], crc32.ChecksumIEEE(data[:60]))
+}
+
+// TestBootDirVersionNewer is the boot-ordering regression test: a flat
+// file stamped with a future format version must be skipped with a
+// warning and the catalog loaded through .psyn decode instead.
+func TestBootDirVersionNewer(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	src := randCatalog(t, rng, 6, []int{32})
+	dir := t.TempDir()
+	if _, err := src.SaveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := PackBytes(src.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:], flatVersion+1)
+	rewriteHeader(data)
+	if err := WriteBlob(FlatPath(dir), data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFlat(FlatPath(dir)); err == nil {
+		t.Fatal("OpenFlat accepted a future version")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version rejected with %v, want a version error", err)
+	}
+
+	var warned []string
+	c := New()
+	f, flatN, codecN, err := BootDir(c, dir, func(format string, args ...any) {
+		warned = append(warned, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		t.Fatal("BootDir kept a future-version flat file open")
+	}
+	if flatN != 0 || codecN != src.Len() {
+		t.Fatalf("flatN = %d codecN = %d, want 0 and %d (codec fallback)", flatN, codecN, src.Len())
+	}
+	if len(warned) == 0 {
+		t.Fatal("future-version fallback produced no warning")
+	}
+	for _, want := range src.List() {
+		if _, ok := c.Get(want.Key); !ok {
+			t.Fatalf("%v missing after codec fallback", want.Key)
+		}
+	}
+}
+
+// TestBootDirNoFlatFile: the common case (no flat file at all) loads
+// through the codec path with no warning.
+func TestBootDirNoFlatFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	src := randCatalog(t, rng, 4, []int{16})
+	dir := t.TempDir()
+	if _, err := src.SaveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	var warned int
+	c := New()
+	f, flatN, codecN, err := BootDir(c, dir, func(string, ...any) { warned++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != nil || flatN != 0 || codecN != src.Len() || warned != 0 {
+		t.Fatalf("f=%v flatN=%d codecN=%d warned=%d, want nil/0/%d/0", f, flatN, codecN, warned, src.Len())
+	}
+}
+
+// TestFlatCorruptBlockWithdrawn: a bit flip in an entry's data block
+// passes the open-time checks (header and index are intact) but must be
+// caught by the entry's lazy CRC at first Get — the entry is withdrawn,
+// never served.
+func TestFlatCorruptBlockWithdrawn(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	src := randCatalog(t, rng, 4, []int{32})
+	data, err := PackBytes(src.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataOff := binary.LittleEndian.Uint64(data[40:])
+	data[dataOff+3] ^= 0x40 // flip a bit in the first entry's block
+	dir := t.TempDir()
+	if err := WriteBlob(FlatPath(dir), data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFlat(FlatPath(dir))
+	if err != nil {
+		t.Fatalf("open rejected a file whose damage is block-local: %v", err)
+	}
+	defer f.Close()
+	var warned int
+	c := New()
+	c.AttachFlat(f, func(string, ...any) { warned++ })
+	victim := f.Keys()[0]
+	if _, ok := c.Get(victim); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if warned == 0 {
+		t.Fatal("withdrawal produced no warning")
+	}
+	if _, ok := c.Get(victim); ok {
+		t.Fatal("withdrawn entry came back")
+	}
+	// The other entries are intact and must still serve.
+	for _, k := range f.Keys()[1:] {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("intact entry %v withdrawn", k)
+		}
+	}
+}
+
+// TestOpenFlatRejectsDamage: header- and index-level damage must fail
+// at open, before anything is attached.
+func TestOpenFlatRejectsDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := randCatalog(t, rng, 3, []int{16})
+	good, err := PackBytes(src.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"truncated mid-data":  func(b []byte) []byte { return b[:len(b)-64] },
+		"truncated to header": func(b []byte) []byte { return b[:flatPage] },
+		"empty":               func(b []byte) []byte { return nil },
+		"bad magic":           func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"header bit flip":     func(b []byte) []byte { b[21] ^= 0x01; return b },
+		"index bit flip":      func(b []byte) []byte { b[flatPage+2] ^= 0x10; return b },
+		"entry count lies": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:], 99)
+			rewriteHeader(b)
+			return b
+		},
+		"file size lies": func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[48:], uint64(len(b))+flatPage)
+			rewriteHeader(b)
+			return b
+		},
+	}
+	dir := t.TempDir()
+	for name, mutate := range cases {
+		data := mutate(append([]byte(nil), good...))
+		path := FlatPath(dir)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if f, err := OpenFlat(path); err == nil {
+			f.Close()
+			t.Errorf("%s: OpenFlat accepted the file", name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package catalog
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// In-place array views over the flat catalog mapping. These are the
+// point of the format: a querier's arrays are the file's bytes, so boot
+// cost is independent of catalog size. Safety rests on invariants
+// enforced before any view is taken — OpenFlat refuses non-64-bit or
+// big-endian hosts (hostFlatCapable), checks the mapping's base
+// alignment, and bounds- and alignment-checks every block offset
+// against the file before buildEntry slices into it.
+
+// checkViewable verifies the mapping base is 8-byte aligned (true for
+// real mmap and for the []uint64-backed fallback; checked anyway so a
+// violation is a clean error, not a misaligned load on some future
+// platform).
+func checkViewable(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("empty mapping")
+	}
+	if uintptr(unsafe.Pointer(&data[0]))%8 != 0 {
+		return fmt.Errorf("mapping base not 8-byte aligned")
+	}
+	return nil
+}
+
+// viewInts views count little-endian int64s at off as []int (the host
+// is 64-bit by the open-time guard). off must be 8-aligned and in
+// bounds — the index parser guarantees both.
+func viewInts(data []byte, off, count uint64) []int {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&data[off])), count)
+}
+
+// viewF64s views count float64s at off.
+func viewF64s(data []byte, off, count uint64) []float64 {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&data[off])), count)
+}
+
+// viewI32s views count int32s at off (4-byte alignment suffices; every
+// flat offset handed here is 8-aligned anyway).
+func viewI32s(data []byte, off, count uint64) []int32 {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&data[off])), count)
+}

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile on platforms without syscall.Mmap reads the whole file into
+// an 8-byte-aligned buffer (allocated as []uint64 so the alignment the
+// in-place array views require holds by construction). Slower than a
+// real mapping but behaviorally identical; the flat boot path still
+// skips all decoding and recompilation.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("unmappable size %d", size)
+	}
+	words := make([]uint64, (size+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)[:size]
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, err
+	}
+	return buf, func() error { return nil }, nil
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned cleanup unmaps.
+// mmap hands back page-aligned memory, which is what lets the flat
+// catalog's page-aligned arrays be viewed in place.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("unmappable size %d", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap: %w", err)
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

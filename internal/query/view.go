@@ -1,0 +1,92 @@
+package query
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WaveletDenseLimit is the largest wavelet domain for which queriers
+// carry the O(1) dense index→position table (see waveletDenseLimit). It
+// is exported for the flat catalog format (internal/catalog), whose
+// on-disk layout must store a position table exactly when the compiled
+// querier would build one — otherwise a flat-backed querier and a
+// compiled querier of the same synopsis would disagree on their lookup
+// path.
+const WaveletDenseLimit = waveletDenseLimit
+
+// The view constructors below build queriers from caller-provided
+// arrays instead of compiling them from a synopsis. They exist for the
+// flat catalog (internal/catalog): a packed catalog file stores exactly
+// the arrays CompileHistogram/CompileWavelet precompute, so a replica
+// restart can mmap the file and serve through queriers whose slices
+// alias the mapping — no decoding, no recompilation, no copying. The
+// querier types returned are the same types Compile produces, so
+// answers are bit-identical by construction: it is the same code over
+// the same float64 bits.
+//
+// The slices are aliased, not copied. Callers own their immutability:
+// a view over a mmap'd file must keep the mapping alive for the
+// querier's lifetime and never remap it writable.
+
+// NewHistogramView assembles a HistogramQuerier directly from the
+// compiled arrays (see CompileHistogram for their invariants: starts,
+// ends ascending bucket bounds partitioning [0, n); prefix the
+// left-to-right accumulated weighted sums). Shape errors are rejected;
+// semantic invariants (the partition being contiguous) are the caller's
+// contract — the flat catalog validates them once per entry before
+// constructing the view.
+func NewHistogramView(n int, starts, ends []int, reps, prefix []float64) (*HistogramQuerier, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("query: histogram view over empty domain %d", n)
+	}
+	b := len(starts)
+	if b == 0 {
+		return nil, fmt.Errorf("query: histogram view with no buckets")
+	}
+	if len(ends) != b || len(reps) != b || len(prefix) != b {
+		return nil, fmt.Errorf("query: histogram view arrays disagree: %d starts, %d ends, %d reps, %d prefix",
+			b, len(ends), len(reps), len(prefix))
+	}
+	return &HistogramQuerier{n: n, starts: starts, ends: ends, reps: reps, prefix: prefix}, nil
+}
+
+// Arrays returns the querier's compiled arrays (aliased, read-only):
+// the serialization source for the flat catalog packer. Round trip:
+// NewHistogramView(q.Arrays()) answers bit-identically to q.
+func (q *HistogramQuerier) Arrays() (n int, starts, ends []int, reps, prefix []float64) {
+	return q.n, q.starts, q.ends, q.reps, q.prefix
+}
+
+// NewWaveletView assembles a WaveletQuerier directly from the compiled
+// state (see CompileWavelet): the detail coefficients (root excluded)
+// sorted ascending by index, the root split out, and the dense
+// index→position table — which must be present exactly when n <=
+// WaveletDenseLimit and nil beyond it, so the view takes the same
+// lookup path a compiled querier of the same synopsis would.
+func NewWaveletView(n int, root float64, hasRoot bool, indices []int, values []float64, pos []int32) (*WaveletQuerier, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("query: wavelet view domain %d not a power of two", n)
+	}
+	if len(indices) != len(values) {
+		return nil, fmt.Errorf("query: wavelet view arrays disagree: %d indices, %d values", len(indices), len(values))
+	}
+	if n <= WaveletDenseLimit {
+		if len(pos) != n {
+			return nil, fmt.Errorf("query: wavelet view needs a dense position table of %d entries, got %d", n, len(pos))
+		}
+	} else if pos != nil {
+		return nil, fmt.Errorf("query: wavelet view domain %d beyond the dense-table limit carries a position table", n)
+	}
+	return &WaveletQuerier{
+		n: n, log2n: bits.Len(uint(n)) - 1,
+		indices: indices, values: values, pos: pos,
+		root: root, hasRoot: hasRoot,
+	}, nil
+}
+
+// Arrays returns the querier's compiled state (aliased, read-only):
+// the serialization source for the flat catalog packer. Round trip:
+// NewWaveletView(q.Arrays()) answers bit-identically to q.
+func (q *WaveletQuerier) Arrays() (n int, root float64, hasRoot bool, indices []int, values []float64, pos []int32) {
+	return q.n, q.root, q.hasRoot, q.indices, q.values, q.pos
+}

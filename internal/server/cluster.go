@@ -213,6 +213,12 @@ func (s *Server) handleAccept(w http.ResponseWriter, r *http.Request) {
 			"piece %s: envelope holds a %s synopsis", pk, family)
 		return
 	}
+	// Accepts change the catalog outside the job queue, so they carry
+	// their own flat-file invalidation window.
+	if s.flat != nil {
+		s.flat.JobStart()
+		defer s.flat.JobEnd()
+	}
 	if s.cfg.CatalogDir != "" {
 		if err := catalog.WriteBlob(filepath.Join(s.cfg.CatalogDir, pk.Filename()), blob); err != nil {
 			writeError(w, http.StatusInternalServerError, CodeBuildFailed, "persist %s: %v", pk, err)

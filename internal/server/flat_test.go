@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"probsyn/internal/catalog"
+	"probsyn/internal/hist"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The keeper's core discipline, exercised directly: JobStart removes the
+// flat file before work, JobEnd re-packs at quiescence with bytes equal
+// to a fresh PackBytes of the catalog, and Close runs a final
+// synchronous pack.
+func TestFlatKeeperLifecycle(t *testing.T) {
+	cat := catalog.New()
+	key, err := catalog.NewKey("ds", catalog.FamilyHistogram, "SSE", 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &hist.Histogram{N: 4, Buckets: []hist.Bucket{{Start: 0, End: 3, Rep: 1}}}
+	if _, _, err := cat.Put(key, h); err != nil {
+		t.Fatal(err)
+	}
+	path := catalog.FlatPath(t.TempDir())
+	if _, err := catalog.Pack(path, cat.List()); err != nil {
+		t.Fatal(err)
+	}
+
+	fk := newFlatKeeper(path, cat, t.Logf)
+	fk.JobStart()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("flat file still present during an active job (stat err = %v)", err)
+	}
+	fk.JobEnd()
+	waitFor(t, "quiescent re-pack", func() bool {
+		_, err := os.Stat(path)
+		return err == nil
+	})
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := catalog.PackBytes(cat.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("re-packed flat file differs from a fresh pack of the catalog")
+	}
+
+	// A job that mutates the catalog: after Close, the final pack must
+	// reflect the mutation, not the earlier snapshot.
+	fk.JobStart()
+	key2, err := catalog.NewKey("ds", catalog.FamilyHistogram, "SSE", 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := &hist.Histogram{N: 4, Buckets: []hist.Bucket{
+		{Start: 0, End: 1, Rep: 1}, {Start: 2, End: 3, Rep: 2},
+	}}
+	if _, _, err := cat.Put(key2, h2); err != nil {
+		t.Fatal(err)
+	}
+	fk.JobEnd()
+	fk.Close()
+	f, err := catalog.OpenFlat(path)
+	if err != nil {
+		t.Fatalf("final pack unreadable: %v", err)
+	}
+	defer f.Close()
+	if f.Len() != 2 {
+		t.Fatalf("final pack has %d entries, want 2", f.Len())
+	}
+}
+
+// The server wiring end to end: a waited build invalidates the flat
+// file, and the background keeper re-packs it once the queue is
+// quiescent, covering the new entry.
+func TestServerFlatRepackAfterBuild(t *testing.T) {
+	catDir := t.TempDir()
+	path := catalog.FlatPath(catDir)
+	_, ts, _ := newFixture(t, Config{CatalogDir: catDir, FlatPath: path})
+
+	resp, ok, bad := postBuild(t, ts, BuildRequest{
+		Dataset: "ds", Family: "histogram", Metric: "SSE", Budget: 4, Wait: true,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("build: status %d (%+v)", resp.StatusCode, bad)
+	}
+	if ok.Status != "built" {
+		t.Fatalf("build status %q, want built", ok.Status)
+	}
+
+	waitFor(t, "post-build re-pack", func() bool {
+		_, err := os.Stat(path)
+		return err == nil
+	})
+	f, err := catalog.OpenFlat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != 1 {
+		t.Fatalf("re-packed flat file has %d entries, want 1", f.Len())
+	}
+	// The persisted envelope beside it is what the flat file packs, so a
+	// replica booting this directory gets both paths in agreement.
+	des, err := os.ReadDir(catDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psyn := 0
+	for _, de := range des {
+		if filepath.Ext(de.Name()) == ".psyn" {
+			psyn++
+		}
+	}
+	if psyn != 1 {
+		t.Fatalf("catalog dir holds %d .psyn envelopes, want 1", psyn)
+	}
+}

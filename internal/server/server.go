@@ -120,6 +120,13 @@ type Config struct {
 	BuildWorkers int
 	// C is the sanity constant handed to relative-error metric builds.
 	C float64
+	// FlatPath, when non-empty, is the flat mmap catalog file this
+	// server maintains (conventionally catalog.FlatPath(CatalogDir)):
+	// removed before any job that changes the catalog, re-packed in the
+	// background once the server is quiescent, and packed once more on
+	// graceful shutdown — so a replica boot always finds either a flat
+	// file exactly matching the .psyn directory or no flat file at all.
+	FlatPath string
 	// MaxLiveStates caps how many live frontiers (retained DP state for
 	// incremental mutation maintenance) the server keeps; <= 0 means
 	// DefaultMaxLiveStates. Beyond the cap the least-recently-mutated
@@ -184,6 +191,11 @@ type Server struct {
 	// the cache can never outlive the build it was compiled from.
 	pieceMu    sync.RWMutex
 	pieceCache map[catalog.Key]cachedPiece
+
+	// flat maintains the flat mmap catalog file (nil when Config.
+	// FlatPath is empty): invalidation before catalog-changing jobs,
+	// background re-pack at quiescence, final pack at shutdown.
+	flat *flatKeeper
 
 	// read-mostly cache of parsed datasets.
 	dsMu     sync.RWMutex
@@ -315,6 +327,9 @@ func New(cfg Config) (*Server, error) {
 		dsLocks:    make(map[string]*sync.RWMutex),
 		lives:      make(map[liveKey]*liveState),
 	}
+	if cfg.FlatPath != "" {
+		s.flat = newFlatKeeper(cfg.FlatPath, cfg.Catalog, s.logf)
+	}
 	for w := 0; w < cfg.BuildWorkers; w++ {
 		s.workers.Add(1)
 		go func() {
@@ -335,8 +350,15 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// runJob executes one queued job and completes it.
+// runJob executes one queued job and completes it. Every job may change
+// the catalog (persist, publish, withdraw), so the flat catalog file is
+// invalidated before the job runs and re-packed once the server
+// quiesces after it.
 func (s *Server) runJob(job *buildJob) {
+	if s.flat != nil {
+		s.flat.JobStart()
+		defer s.flat.JobEnd()
+	}
 	switch job.kind {
 	case jobSweep:
 		job.err = s.buildSweep(job.key)
@@ -403,8 +425,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every queued job has drained: pack the flat catalog one final
+		// time so the next boot maps it instead of re-decoding.
+		if s.flat != nil {
+			s.flat.Close()
+		}
 		return nil
 	case <-ctx.Done():
+		// Jobs may still be running; a final pack here could race them.
+		// The flat file was already invalidated by any active job, so
+		// the next boot correctly falls back to the .psyn directory.
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
 }

@@ -30,7 +30,14 @@ const (
 var binaryMagic = [4]byte{'P', 'S', 'Y', 'N'}
 
 // Marshal serializes a synopsis in the versioned binary envelope.
+// Underlier facades (flat-catalog entries) are resolved to the concrete
+// synopsis first, so a facade marshals byte-identically to the value it
+// stands for.
 func Marshal(s Synopsis) ([]byte, error) {
+	s, err := Resolve(s)
+	if err != nil {
+		return nil, err
+	}
 	c, err := codecFor(s)
 	if err != nil {
 		return nil, err
@@ -103,8 +110,13 @@ type jsonEnvelope struct {
 	Synopsis json.RawMessage `json:"synopsis"`
 }
 
-// MarshalJSON serializes a synopsis in the versioned JSON envelope.
+// MarshalJSON serializes a synopsis in the versioned JSON envelope,
+// resolving Underlier facades like Marshal.
 func MarshalJSON(s Synopsis) ([]byte, error) {
+	s, err := Resolve(s)
+	if err != nil {
+		return nil, err
+	}
 	c, err := codecFor(s)
 	if err != nil {
 		return nil, err

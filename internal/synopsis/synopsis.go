@@ -40,6 +40,36 @@ type Synopsis interface {
 	Domain() int
 }
 
+// Underlier is implemented by synopsis facades that stand in for a
+// concrete family value without being one — the flat catalog's
+// mmap-backed entries (internal/catalog) answer queries from file-viewed
+// arrays but are not *hist.Histogram or *wavelet.Synopsis, so the codec
+// could not match them. Underlying materializes the concrete synopsis
+// the facade represents (possibly lazily, possibly failing on a corrupt
+// backing file); Marshal, MarshalJSON, and TypeName resolve through it,
+// so a facade round-trips the codec byte-identically to the value it
+// stands for.
+type Underlier interface {
+	Underlying() (Synopsis, error)
+}
+
+// Resolve unwraps Underlier facades (recursively, defensively bounded)
+// to the concrete synopsis the codec registry can match.
+func Resolve(s Synopsis) (Synopsis, error) {
+	for depth := 0; depth < 8; depth++ {
+		u, ok := s.(Underlier)
+		if !ok {
+			return s, nil
+		}
+		inner, err := u.Underlying()
+		if err != nil {
+			return nil, err
+		}
+		s = inner
+	}
+	return nil, fmt.Errorf("synopsis: Underlying chain too deep (cycle?)")
+}
+
 // Codec serializes one synopsis family. Name is the wire-format type name
 // (stable across releases; it is written into both envelopes). Match
 // reports whether the codec handles a given value; the Encode/Decode pairs
@@ -97,8 +127,12 @@ func TypeName(s Synopsis) (string, error) {
 }
 
 // codecFor returns the first registered codec (in registration order)
-// whose Match accepts s.
+// whose Match accepts s, resolving Underlier facades first.
 func codecFor(s Synopsis) (Codec, error) {
+	s, err := Resolve(s)
+	if err != nil {
+		return Codec{}, err
+	}
 	regMu.RLock()
 	defer regMu.RUnlock()
 	for _, name := range regOrder {

@@ -62,6 +62,24 @@ extract "$BASELINE" > /tmp/bench_gate_base.$$
 extract "$FRESH" > /tmp/bench_gate_fresh.$$
 trap 'rm -f /tmp/bench_gate_base.$$ /tmp/bench_gate_fresh.$$' EXIT
 
+# An empty side is a broken pipeline, never a pass. The comparison
+# below separates the two inputs with NR == FNR, which degenerates when
+# the baseline contributes zero lines: every fresh row would land in
+# the baseline array and the gate would compare nothing, silently
+# exiting 0 — precisely when a truncated snapshot or an empty bench run
+# most needs to fail loudly.
+if ! [ -s /tmp/bench_gate_base.$$ ]; then
+  echo "bench gate: no benchmark entries in baseline $BASELINE" >&2
+  exit 2
+fi
+if ! [ -s /tmp/bench_gate_fresh.$$ ]; then
+  echo "bench gate: no benchmark entries in fresh run $FRESH" >&2
+  exit 2
+fi
+
+# Every regression is reported before the gate exits — the END block is
+# the only exit, so a PR that slows five benchmarks sees all five in
+# one CI run instead of fixing them serially.
 awk -v floor=10000000 '
   NR == FNR { base[$1] = $2; balloc[$1] = $3; bp99[$1] = $4; next }
   {

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench_gate_test.sh — fixture tests for bench_gate.sh.
+#
+# Usage: bench_gate_test.sh
+#
+# Runs the gate against hand-written baseline/fresh JSON pairs and
+# asserts the exit status and the report contents: every regression in
+# a run is reported (not just the first), the zero-allocation contract
+# fires regardless of the noise floor, sub-floor timings are skipped,
+# and an empty side fails loudly instead of comparing nothing. CI runs
+# this before trusting the real gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GATE=scripts/bench_gate.sh
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "bench_gate_test: FAIL: $*" >&2
+  exit 1
+}
+
+# run <expected_status> <baseline> <fresh>: run the gate, capture
+# combined output in $out, assert the exit status.
+run() {
+  local want=$1 status=0
+  out=$("$GATE" "$2" "$3" 2>&1) || status=$?
+  if [ "$status" -ne "$want" ]; then
+    fail "exit $status, want $want ($2 vs $3); output: $out"
+  fi
+}
+
+# Case 1: two independent >2x regressions on slow benchmarks plus an
+# alloc regression — all three must appear in one report.
+cat > "$TMP/base.json" <<'EOF'
+[
+  {"name": "BenchmarkSlowA", "iters": 1, "ns_per_op": 20000000},
+  {"name": "BenchmarkSlowB", "iters": 1, "ns_per_op": 30000000},
+  {"name": "BenchmarkHot", "iters": 1, "ns_per_op": 500, "allocs_per_op": 0},
+  {"name": "BenchmarkFine", "iters": 1, "ns_per_op": 50000000}
+]
+EOF
+cat > "$TMP/fresh.json" <<'EOF'
+[
+  {"name": "BenchmarkSlowA", "iters": 1, "ns_per_op": 50000000},
+  {"name": "BenchmarkSlowB", "iters": 1, "ns_per_op": 90000000},
+  {"name": "BenchmarkHot", "iters": 1, "ns_per_op": 600, "allocs_per_op": 3},
+  {"name": "BenchmarkFine", "iters": 1, "ns_per_op": 51000000}
+]
+EOF
+run 1 "$TMP/base.json" "$TMP/fresh.json"
+echo "$out" | grep -q 'REGRESSION BenchmarkSlowA' || fail "SlowA regression not reported: $out"
+echo "$out" | grep -q 'REGRESSION BenchmarkSlowB' || fail "SlowB regression not reported: $out"
+echo "$out" | grep -q 'ALLOC REGRESSION BenchmarkHot' || fail "alloc regression not reported: $out"
+echo "$out" | grep -q '3 regressions' || fail "summary did not count all regressions: $out"
+echo "$out" | grep -q 'REGRESSION BenchmarkFine' && fail "in-threshold bench flagged: $out"
+
+# Case 2: the same timings pass when within threshold; a sub-floor
+# bench regressing 100x is noise, not a failure.
+cat > "$TMP/fresh_ok.json" <<'EOF'
+[
+  {"name": "BenchmarkSlowA", "iters": 1, "ns_per_op": 21000000},
+  {"name": "BenchmarkSlowB", "iters": 1, "ns_per_op": 31000000},
+  {"name": "BenchmarkHot", "iters": 1, "ns_per_op": 50000, "allocs_per_op": 0},
+  {"name": "BenchmarkFine", "iters": 1, "ns_per_op": 50000000}
+]
+EOF
+run 0 "$TMP/base.json" "$TMP/fresh_ok.json"
+
+# Case 3: an empty baseline is a pipeline failure (exit 2), never a
+# silent pass — this is the NR == FNR degenerate case.
+echo '[]' > "$TMP/empty.json"
+run 2 "$TMP/empty.json" "$TMP/fresh.json"
+echo "$out" | grep -q 'no benchmark entries in baseline' || fail "empty baseline not diagnosed: $out"
+
+# Case 4: an empty fresh run likewise.
+run 2 "$TMP/base.json" "$TMP/empty.json"
+echo "$out" | grep -q 'no benchmark entries in fresh run' || fail "empty fresh run not diagnosed: $out"
+
+# Case 5: added/removed benchmarks are listed in the summary but never
+# gate.
+cat > "$TMP/fresh_new.json" <<'EOF'
+[
+  {"name": "BenchmarkSlowA", "iters": 1, "ns_per_op": 21000000},
+  {"name": "BenchmarkSlowB", "iters": 1, "ns_per_op": 31000000},
+  {"name": "BenchmarkHot", "iters": 1, "ns_per_op": 50000, "allocs_per_op": 0},
+  {"name": "BenchmarkBrandNew", "iters": 1, "ns_per_op": 99000000}
+]
+EOF
+run 0 "$TMP/base.json" "$TMP/fresh_new.json"
+echo "$out" | grep -q '1 added, 1 removed' || fail "added/removed counts wrong: $out"
+
+echo "bench_gate_test: PASS"
