@@ -27,6 +27,7 @@ type buildConfig struct {
 	rquantSet   bool
 	shards      int
 	shardsSet   bool
+	dpStats     *hist.DPStats
 }
 
 // WithParams sets the metric parameters (the sanity constant c of the
@@ -114,6 +115,18 @@ func WithQuantize(q int) BuildOption {
 	return func(c *buildConfig) { c.rquant, c.rquantSet = q, true }
 }
 
+// WithDPStats points the build at a work-counter sink: on success of a
+// histogram DP build (Build, BuildSweep, BuildSharded), *st is
+// overwritten with the DP's cumulative DPStats — split candidates
+// scanned vs. monotonicity-pruned and bucket-cost evaluations — so the
+// pruned DP's output-sensitivity is observable (psyn -v prints it). A
+// live build (BuildLive) refreshes *st after every mutation. Families
+// with no histogram DP — wavelets, the (1+eps)-approximate DP, the
+// equi-depth heuristic — leave the sink untouched.
+func WithDPStats(st *DPStats) BuildOption {
+	return func(c *buildConfig) { c.dpStats = st }
+}
+
 // WithShards splits the build across k contiguous domain shards built
 // concurrently and merged under the global budget (see BuildSharded,
 // which also returns the per-shard pieces and the suboptimality bound
@@ -187,7 +200,14 @@ func buildHistogram(src Source, m Metric, B int, cfg *buildConfig, pool *engine.
 	if cfg.epsSet {
 		return hist.ApproximatePool(o, B, cfg.eps, pool)
 	}
-	return hist.OptimalPool(o, B, pool)
+	tab, err := hist.RunDPPool(o, B, pool)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.dpStats != nil {
+		*cfg.dpStats = tab.Stats()
+	}
+	return tab.Histogram(B)
 }
 
 // histOracle constructs the bucket-cost oracle a histogram build (or

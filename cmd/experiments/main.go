@@ -211,17 +211,31 @@ func fig3a() {
 		ns = append(ns, 16000, 30000)
 	}
 	fmt.Printf("# fig3a: histogram DP time vs n, B=%d, SSRE c=0.5, MystiQ-shaped\n", B)
-	fmt.Println("n,seconds")
+	fmt.Println("n,seconds,scanned,pruned,pruned_pct,cost_evals")
 	for _, n := range ns {
 		rng := rand.New(rand.NewSource(*flagSeed))
 		src := gen.MystiQLinkage(rng, gen.DefaultMystiQ(n))
 		o, err := hist.NewOracle(src, metric.SSRE, metric.Params{C: 0.5})
 		check(err)
 		start := time.Now()
-		_, err = hist.OptimalPool(o, B, pool())
+		tab, err := hist.RunDPPool(o, B, pool())
 		check(err)
-		fmt.Printf("%d,%.3f\n", n, time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		_, err = tab.Histogram(B)
+		check(err)
+		st := tab.Stats()
+		fmt.Printf("%d,%.3f,%d,%d,%.1f,%d\n", n, secs,
+			st.CandidatesScanned, st.CandidatesPruned, prunedPct(st), st.CostEvals)
 	}
+}
+
+// prunedPct is the share of split candidates the DP pruned, in percent.
+func prunedPct(st hist.DPStats) float64 {
+	total := st.CandidatesScanned + st.CandidatesPruned
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(st.CandidatesPruned) / float64(total)
 }
 
 // fig3b: DP wall time vs B at fixed n (paper: n=10^4, B up to 1000).
@@ -235,12 +249,17 @@ func fig3b() {
 	o, err := hist.NewOracle(src, metric.SSRE, metric.Params{C: 0.5})
 	check(err)
 	fmt.Printf("# fig3b: histogram DP time vs buckets, n=%d, SSRE c=0.5, MystiQ-shaped\n", n)
-	fmt.Println("buckets,seconds")
+	fmt.Println("buckets,seconds,scanned,pruned,pruned_pct,cost_evals")
 	for _, B := range budgets(n/10, *flagPoints) {
 		start := time.Now()
-		_, err := hist.OptimalPool(o, B, pool())
+		tab, err := hist.RunDPPool(o, B, pool())
 		check(err)
-		fmt.Printf("%d,%.3f\n", B, time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		_, err = tab.Histogram(B)
+		check(err)
+		st := tab.Stats()
+		fmt.Printf("%d,%.3f,%d,%d,%.1f,%d\n", B, secs,
+			st.CandidatesScanned, st.CandidatesPruned, prunedPct(st), st.CostEvals)
 	}
 }
 
@@ -358,6 +377,10 @@ func frontier() {
 		exp.Bmax, n, src.M(), workers())
 	fmt.Println("family,budget,terms,cost,sweep_seconds")
 	for _, s := range series {
+		if st := s.DPStats; st != nil {
+			fmt.Printf("# %s dp: %d scanned, %d pruned (%.1f%%), %d cost evals\n",
+				s.Family, st.CandidatesScanned, st.CandidatesPruned, prunedPct(*st), st.CostEvals)
+		}
 		for _, pt := range s.Points {
 			fmt.Printf("%s,%d,%d,%.6g,%.3f\n", s.Family, pt.B, pt.Terms, pt.Cost, s.SweepSeconds)
 		}

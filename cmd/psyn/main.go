@@ -98,6 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		flagQuery    = fs.String("query", "", "batch request file (POST /v1/query JSON body) answered offline from the -out catalog directory; the response JSON is written to stdout, byte-identical to a served one")
 		flagPack     = fs.String("pack", "", "pack this catalog directory's synopses into its flat mmap file (catalog.flat) for millisecond psynd -flat boots; deterministic, byte-identical to the server's own re-packs")
 		flagShards   = fs.Int("shards", 0, "if >= 2, build sharded: split the domain into this many contiguous ranges, build each in parallel, and merge (exact for SSE wavelets; DP families report a certified additive suboptimality bound); with -out (a catalog directory), the merged synopsis and every piece are saved under key-encoded filenames")
+		flagVerbose  = fs.Bool("v", false, "after a histogram DP build (plain, -sweep, or -shards), report the DP work counters: split candidates scanned vs. monotonicity-pruned and bucket-cost evaluations — the pruned DP's output-sensitivity (see probsyn.DPStats); non-DP builds print nothing")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -134,6 +135,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	p := probsyn.Params{C: *flagC}
 	opts := []probsyn.BuildOption{probsyn.WithParams(p), probsyn.WithParallelism(*flagParallel)}
+	var dpStats probsyn.DPStats
+	if *flagVerbose {
+		opts = append(opts, probsyn.WithDPStats(&dpStats))
+	}
 	if *flagUnres && *flagQuant < 0 {
 		return fmt.Errorf("-unrestricted needs -quantize q")
 	}
@@ -174,7 +179,11 @@ func run(args []string, stdout io.Writer) error {
 			budget = *flagCoeffs
 			opts = append(opts, probsyn.WithWavelet())
 		}
-		return runSweep(stdout, src, m, p, budget, dataset, *flagOut, rquant, opts)
+		if err := runSweep(stdout, src, m, p, budget, dataset, *flagOut, rquant, opts); err != nil {
+			return err
+		}
+		reportDPStats(stdout, dpStats)
+		return nil
 	}
 
 	if *flagShards >= 2 {
@@ -190,7 +199,11 @@ func run(args []string, stdout io.Writer) error {
 			budget = *flagCoeffs
 			opts = append(opts, probsyn.WithWavelet())
 		}
-		return runSharded(stdout, src, m, p, budget, *flagShards, dataset, *flagOut, rquant, opts)
+		if err := runSharded(stdout, src, m, p, budget, *flagShards, dataset, *flagOut, rquant, opts); err != nil {
+			return err
+		}
+		reportDPStats(stdout, dpStats)
+		return nil
 	}
 
 	var syn probsyn.Synopsis
@@ -202,10 +215,24 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reportDPStats(stdout, dpStats)
 	if *flagOut != "" {
 		return saveSynopsis(stdout, *flagOut, syn)
 	}
 	return nil
+}
+
+// reportDPStats prints the histogram DP's work counters collected via
+// WithDPStats (-v). A zero struct — no DP ran, or -v was off — prints
+// nothing.
+func reportDPStats(stdout io.Writer, st probsyn.DPStats) {
+	total := st.CandidatesScanned + st.CandidatesPruned
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "dp: %d split candidates, %d scanned, %d pruned (%.1f%%), %d bucket-cost evals\n",
+		total, st.CandidatesScanned, st.CandidatesPruned,
+		100*float64(st.CandidatesPruned)/float64(total), st.CostEvals)
 }
 
 // runAppend extends a value-model dataset with the items of a second

@@ -62,6 +62,9 @@ func BuildSweep(src Source, m Metric, Bmax int, opts ...BuildOption) (Frontier, 
 	if err != nil {
 		return nil, err
 	}
+	if cfg.dpStats != nil {
+		*cfg.dpStats = tab.Stats()
+	}
 	return histFrontier{tab}, nil
 }
 

@@ -302,6 +302,54 @@ func (p *Pool) MapChunksDynamic(lo, hi, work int, fn func(w, clo, chi int)) {
 	wg.Wait()
 }
 
+// CutGE returns the first index i in [lo, hi) with x[i] >= v, or hi when
+// there is none. x[lo:hi] must be non-decreasing — the caller certifies
+// that (the histogram DP checks it at write time; float wobble voids the
+// guarantee otherwise). With CombineMin it forms the engine's bounded-
+// search min-reduction: a reducer that holds an upper bound on the
+// minimum cuts the candidate range to the indices that can still matter
+// in O(log) instead of scanning past them.
+func CutGE(x []float64, lo, hi int, v float64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// CutGT returns the first index i in [lo, hi) with x[i] > v, or hi when
+// there is none; x[lo:hi] must be non-decreasing.
+func CutGT(x []float64, lo, hi int, v float64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x[mid] > v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// CutLE returns the first index i in [lo, hi) with x[i] <= v, or hi when
+// there is none; x[lo:hi] must be non-increasing (prefix-min envelopes
+// are, exactly, by construction — see the histogram DP's pruned scan).
+func CutLE(x []float64, lo, hi int, v float64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x[mid] <= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // MinPartial is one chunk's candidate for an argmin reduction: the minimal
 // value over the chunk and the index achieving it. Arg < 0 marks an empty
 // chunk (the identity of CombineMin).

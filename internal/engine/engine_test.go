@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -404,5 +405,68 @@ func TestAcquireNUnlimited(t *testing.T) {
 			t.Fatalf("%s: AcquireN = (%d, %v), want (7, nil)", name, granted, err)
 		}
 		release()
+	}
+}
+
+// cutRef is the linear-scan reference for the Cut* binary searches: the
+// first index in [lo, hi) whose value satisfies pred, or hi.
+func cutRef(x []float64, lo, hi int, pred func(float64) bool) int {
+	for i := lo; i < hi; i++ {
+		if pred(x[i]) {
+			return i
+		}
+	}
+	return hi
+}
+
+func TestCutFunctionsMatchLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		// Non-decreasing array with plateaus (duplicates stress the
+		// first-index contract), including ±Inf and exact-zero runs.
+		up := make([]float64, n)
+		acc := -5.0
+		for i := range up {
+			if rng.Intn(3) > 0 {
+				acc += float64(rng.Intn(3))
+			}
+			up[i] = acc
+		}
+		if rng.Intn(8) == 0 {
+			up[n-1] = math.Inf(1)
+		}
+		down := make([]float64, n)
+		for i := range down {
+			down[i] = -up[i] // non-increasing
+		}
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo+1)
+		for _, v := range []float64{up[rng.Intn(n)], -10, 10, 0, math.Inf(1), math.Inf(-1)} {
+			if got, want := CutGE(up, lo, hi, v), cutRef(up, lo, hi, func(x float64) bool { return x >= v }); got != want {
+				t.Fatalf("CutGE(%v, %d, %d, %v) = %d, want %d", up, lo, hi, v, got, want)
+			}
+			if got, want := CutGT(up, lo, hi, v), cutRef(up, lo, hi, func(x float64) bool { return x > v }); got != want {
+				t.Fatalf("CutGT(%v, %d, %d, %v) = %d, want %d", up, lo, hi, v, got, want)
+			}
+			if got, want := CutLE(down, lo, hi, -v), cutRef(down, lo, hi, func(x float64) bool { return x <= -v }); got != want {
+				t.Fatalf("CutLE(%v, %d, %d, %v) = %d, want %d", down, lo, hi, -v, got, want)
+			}
+		}
+	}
+}
+
+func TestCutFunctionsEmptyRange(t *testing.T) {
+	x := []float64{1, 2, 3}
+	for _, lo := range []int{0, 1, 3} {
+		if got := CutGE(x, lo, lo, 0); got != lo {
+			t.Fatalf("CutGE empty range at %d returned %d", lo, got)
+		}
+		if got := CutGT(x, lo, lo, 0); got != lo {
+			t.Fatalf("CutGT empty range at %d returned %d", lo, got)
+		}
+		if got := CutLE(x, lo, lo, 0); got != lo {
+			t.Fatalf("CutLE empty range at %d returned %d", lo, got)
+		}
 	}
 }

@@ -21,10 +21,14 @@ type FrontierPoint struct {
 }
 
 // FrontierSeries is one family's whole cost-vs-budget frontier, with the
-// wall time of the single DP run that produced it.
+// wall time of the single DP run that produced it. The histogram series
+// also carries the DP's work counters (see hist.DPStats) so the pruned
+// DP's output-sensitivity is observable next to the timing; wavelet
+// sweeps have no split scans and leave it nil.
 type FrontierSeries struct {
 	Family       string          `json:"family"` // "histogram", "wavelet", "wavelet-unrestricted"
 	SweepSeconds float64         `json:"sweep_seconds"`
+	DPStats      *hist.DPStats   `json:"dp_stats,omitempty"`
 	Points       []FrontierPoint `json:"points"`
 }
 
@@ -73,7 +77,8 @@ func (e *FrontierExperiment) Run() ([]FrontierSeries, error) {
 	if err != nil {
 		return nil, err
 	}
-	hs := FrontierSeries{Family: catalog.FamilyHistogram, SweepSeconds: time.Since(start).Seconds()}
+	stats := tab.Stats()
+	hs := FrontierSeries{Family: catalog.FamilyHistogram, SweepSeconds: time.Since(start).Seconds(), DPStats: &stats}
 	for b := 1; b <= tab.Bmax(); b++ {
 		h, err := tab.Histogram(b)
 		if err != nil {

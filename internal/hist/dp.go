@@ -3,9 +3,49 @@ package hist
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"probsyn/internal/engine"
 )
+
+// DPStats counts the work one DP performed, cumulatively across the
+// initial build and every resume. The split reduction of Eq. (2) is
+// monotonicity-pruned: a candidate is either scanned (its value was
+// computed) or pruned (skipped because it provably cannot beat the
+// incumbent under the DP's strict-< tie-break), so per reduction
+// Scanned + Pruned equals the candidate count and the pruned share is
+// the output-sensitivity win. CostEvals counts bucket-cost evaluations —
+// oracle Cost calls plus sweep-fill entries. The dense path always pays
+// Θ(n²) of them; the pruned path's bounded lazy fill stops each end at
+// the furthest surviving candidate, so CostEvals never exceeds the dense
+// count (beyond the per-level seed re-pricings) and drops when the
+// certified cuts bite.
+//
+// The tables a DP produces are bit-identical at every worker count and
+// whether or not pruning engages; the stats are not — chunk-local
+// incumbents prune differently than a serial scan — so compare tables,
+// not stats, for determinism.
+type DPStats struct {
+	CandidatesScanned int64
+	CandidatesPruned  int64
+	CostEvals         int64
+}
+
+// Add accumulates o into s.
+func (s *DPStats) Add(o DPStats) {
+	s.CandidatesScanned += o.CandidatesScanned
+	s.CandidatesPruned += o.CandidatesPruned
+	s.CostEvals += o.CostEvals
+}
+
+// DenseDPEnv is the environment variable that forces the dense reference
+// DP: when set (to anything non-empty), runColumns performs the full
+// O(n²·B) split scans and cost fills with no pruning. It exists so CI can
+// build the same catalog twice — pruned and dense — and cmp the files
+// byte-identical; it is a test hook, not a tuning knob.
+const DenseDPEnv = "PROBSYN_DENSE_HIST_DP"
+
+func denseForced() bool { return os.Getenv(DenseDPEnv) != "" }
 
 // Optimal computes the error-optimal B-bucket histogram for the oracle's
 // metric by the dynamic program of Eq. (2):
@@ -46,6 +86,36 @@ type DPTable struct {
 	bmax   int
 	opt    [][]float64
 	choice [][]int32
+	// mono[b] certifies the monotone prefix of row b as written: opt[b] is
+	// non-decreasing over [b, mono[b]) with opt[b][b] >= 0. The pruned
+	// split reduction binary-searches rows only inside their certificate —
+	// the mathematical lemma (a longer prefix never costs less) can wobble
+	// by ULPs in floats, and an unchecked binary search could then skip
+	// the true argmin and break bit-identity with the dense scan.
+	mono  []int
+	stats DPStats
+}
+
+// Stats returns the cumulative DP work counters (see DPStats).
+func (t *DPTable) Stats() DPStats { return t.stats }
+
+// setCell writes one DP cell and extends the row's monotone certificate
+// when the new value keeps it valid. Row b's first meaningful cell is at
+// end b (a (b+1)-bucket histogram needs b+1 items), which anchors the
+// certificate with the non-negativity check the pruning rules need.
+func (t *DPTable) setCell(b, e int, v float64, arg int32) {
+	t.opt[b][e] = v
+	t.choice[b][e] = arg
+	switch {
+	case e == b:
+		if v >= 0 {
+			t.mono[b] = e + 1
+		}
+	case t.mono[b] == e:
+		if v >= t.opt[b][e-1] {
+			t.mono[b] = e + 1
+		}
+	}
 }
 
 // RunDP executes the dynamic program of Eq. (2) up to budget Bmax,
@@ -105,32 +175,100 @@ func RunDPPool(o Oracle, Bmax int, pool *engine.Pool) (*DPTable, error) {
 // run over the same oracle would — the incremental-maintenance path
 // (DPTable.resume) relies on this, and the live property tests verify it
 // byte-for-byte through the codec.
+//
+// The split reduction is monotonicity-pruned (see DESIGN.md "Pruned DP"):
+// prev[i] is non-decreasing in i and the closing bucket's cost is
+// non-increasing in i, so a certified upper bound on a level's minimum —
+// the previous column's argmin re-priced at this end — cuts the candidate
+// range by binary search on both sides, and a running incumbent stops the
+// scan at the first prev[i] that can no longer beat it. Every skip is
+// provably >= the incumbent (or strictly > the bound) under the DP's
+// strict-< tie-break, so the tables are bit-identical to the dense
+// reference at every worker count; DenseDPEnv forces that reference.
+// Random-access oracles additionally price buckets lazily: the prev-side
+// cuts are computed for every level before any cost evaluation, and only
+// the prefix up to the furthest surviving candidate is materialized —
+// never an unconditional costs[0..e] fill.
 func (t *DPTable) runColumns(from int, pool *engine.Pool) {
 	if pool == nil {
 		pool = engine.Serial()
 	}
 	o, n, Bmax := t.oracle, t.n, t.bmax
-	costs := make([]float64, n)
-	reps := make([]float64, n)
 	sweeper, hasSweep := o.(SweepOracle)
 	isSum := o.Combine() == Sum
+	dense := denseForced()
+
+	// Monotone certificates: columns >= from are rewritten, so no
+	// certificate may extend past from (entries left of from survive and
+	// keep theirs).
+	if cap(t.mono) >= Bmax {
+		t.mono = t.mono[:Bmax]
+	} else {
+		m := make([]int, Bmax)
+		copy(m, t.mono)
+		t.mono = m
+	}
+	for b := range t.mono {
+		if t.mono[b] > from {
+			t.mono[b] = from
+		}
+	}
+
+	costs := make([]float64, n)
+	reps := make([]float64, n)
+	// cmin[s] = min(costs[1..s]) is the exact prefix-min envelope of the
+	// current end's filled costs: non-increasing by construction
+	// regardless of any float wobble in costs itself, so binary-searching
+	// it to skip the dominated low-i prefix is always sound.
+	var cmin []float64
+	if !dense {
+		cmin = make([]float64, n)
+	}
+	// useed[b] is this end's certified upper bound on level b's minimum.
+	useed := make([]float64, Bmax)
 
 	// partials[(b-1)*chunks + w] is chunk w's best candidate for level b at
-	// the current end; reused across ends.
+	// the current end; statw[w] is chunk w's work counters. Reused across
+	// ends.
 	partials := make([]engine.MinPartial, (Bmax-1)*pool.Workers())
+	statw := make([]DPStats, pool.Workers())
+
+	// lastScan is the number of candidates that survived pruning at the
+	// previous end — the work estimate the fan-out decision is derived
+	// from, so a heavily pruned scan does not fan out into pure
+	// scheduling overhead. (The dense path keeps its exact (top-1)*e
+	// estimate.)
+	lastScan := 0
 
 	for e := from; e < n; e++ {
-		if hasSweep {
+		switch {
+		case hasSweep:
 			sweeper.CostsForEnd(e, costs, reps)
-		} else {
+			t.stats.CostEvals += int64(e + 1)
+			if !dense {
+				cm := math.Inf(1)
+				for s := 1; s <= e; s++ {
+					if costs[s] < cm {
+						cm = costs[s]
+					}
+					cmin[s] = cm
+				}
+			}
+			t.setCell(0, e, costs[0], -1)
+		case dense:
 			pool.MapChunks(0, e+1, e+1, func(_, lo, hi int) {
 				for s := lo; s < hi; s++ {
 					costs[s], reps[s] = o.Cost(s, e)
 				}
 			})
+			t.stats.CostEvals += int64(e + 1)
+			t.setCell(0, e, costs[0], -1)
+		default:
+			// Lazy path: no fill — level 0 needs exactly one bucket cost.
+			c0, _ := o.Cost(0, e)
+			t.stats.CostEvals++
+			t.setCell(0, e, c0, -1)
 		}
-		t.opt[0][e] = costs[0]
-		t.choice[0][e] = -1
 		top := Bmax
 		if e+1 < top {
 			top = e + 1
@@ -138,37 +276,245 @@ func (t *DPTable) runColumns(from int, pool *engine.Pool) {
 		if top <= 1 {
 			continue
 		}
-		if chunks := pool.Chunks((top - 1) * e); chunks > 1 {
-			// Split the split-point range [0, e) into one contiguous chunk
-			// per worker; each worker reduces its chunk for every level b.
-			pool.MapChunks(0, e, (top-1)*e, func(w, lo, hi int) {
+
+		if dense {
+			if chunks := pool.Chunks((top - 1) * e); chunks > 1 {
+				// Split the split-point range [0, e) into one contiguous chunk
+				// per worker; each worker reduces its chunk for every level b.
+				pool.MapChunks(0, e, (top-1)*e, func(w, lo, hi int) {
+					for b := 1; b < top; b++ {
+						from := lo
+						if from < b-1 {
+							from = b - 1
+						}
+						partials[(b-1)*chunks+w] = reduceSplits(t.opt[b-1], costs, from, hi, isSum)
+					}
+				})
+				for b := 1; b < top; b++ {
+					best := engine.CombineMin(partials[(b-1)*chunks : b*chunks])
+					if best.Arg < 0 {
+						best = engine.MinPartial{Value: math.Inf(1), Arg: int32(b - 1)}
+					}
+					t.setCell(b, e, best.Value, best.Arg)
+				}
+			} else {
+				for b := 1; b < top; b++ {
+					best := reduceSplits(t.opt[b-1], costs, b-1, e, isSum)
+					if best.Arg < 0 {
+						best = engine.MinPartial{Value: math.Inf(1), Arg: int32(b - 1)}
+					}
+					t.setCell(b, e, best.Value, best.Arg)
+				}
+			}
+			t.stats.CandidatesScanned += int64(top-1)*int64(e) - int64(top-1)*int64(top-2)/2
+			continue
+		}
+
+		// Seed each level's upper bound with the previous column's argmin
+		// re-priced at this end: any valid split index upper-bounds the
+		// minimum, stale post-resume back-pointers included, and the
+		// previous column's winner is usually within a hair of optimal.
+		// Pruning against a seed is strict (> useed), so exact ties with
+		// the bound — including the seed candidate itself — survive and
+		// the argmin is untouched.
+		for b := 1; b < top; b++ {
+			u := math.Inf(1)
+			if i0 := int(t.choice[b][e-1]); i0 >= b-1 && i0 < e {
+				var c float64
+				if hasSweep {
+					c = costs[i0+1]
+				} else {
+					c, _ = o.Cost(i0+1, e)
+					t.stats.CostEvals++
+				}
+				if isSum {
+					u = t.opt[b-1][i0] + c
+				} else if u = t.opt[b-1][i0]; c > u {
+					u = c
+				}
+			}
+			useed[b] = u
+		}
+
+		if !hasSweep {
+			// Bounded lazy fill: the certified prev-side cut bounds every
+			// level's scan reach before a single bucket is priced — level b
+			// reads costs only up to CutGT(prev, ., useed[b]) — so only the
+			// prefix costs[1..maxHi] is materialized (with its exact
+			// envelope). maxHi is the furthest surviving candidate across
+			// levels: when the cuts bite, whole-column pricing drops from
+			// Θ(e) to that count; it never exceeds the dense fill.
+			maxHi := 0
+			for b := 1; b < top; b++ {
+				hi := e
+				if t.mono[b-1] >= e && !math.IsInf(useed[b], 1) {
+					hi = engine.CutGT(t.opt[b-1], b-1, e, useed[b])
+				}
+				if hi > maxHi {
+					maxHi = hi
+				}
+			}
+			pool.MapChunks(1, maxHi+1, maxHi, func(_, lo, hi int) {
+				for s := lo; s < hi; s++ {
+					costs[s], reps[s] = o.Cost(s, e)
+				}
+			})
+			t.stats.CostEvals += int64(maxHi)
+			cm := math.Inf(1)
+			for s := 1; s <= maxHi; s++ {
+				if costs[s] < cm {
+					cm = costs[s]
+				}
+				cmin[s] = cm
+			}
+		}
+
+		scannedBefore := t.stats.CandidatesScanned
+		if chunks := pool.Chunks(lastScan); chunks > 1 {
+			for w := range statw[:chunks] {
+				statw[w] = DPStats{}
+			}
+			pool.MapChunks(0, e, lastScan, func(w, lo, hi int) {
+				st := &statw[w]
 				for b := 1; b < top; b++ {
 					from := lo
 					if from < b-1 {
 						from = b - 1
 					}
-					partials[(b-1)*chunks+w] = reduceSplits(t.opt[b-1], costs, from, hi, isSum)
+					partials[(b-1)*chunks+w] = prunedScanDense(t.opt[b-1], costs, cmin, from, hi, isSum, useed[b], t.mono[b-1] >= e, st)
 				}
 			})
+			for w := range statw[:chunks] {
+				t.stats.Add(statw[w])
+			}
 			for b := 1; b < top; b++ {
 				best := engine.CombineMin(partials[(b-1)*chunks : b*chunks])
 				if best.Arg < 0 {
 					best = engine.MinPartial{Value: math.Inf(1), Arg: int32(b - 1)}
 				}
-				t.opt[b][e] = best.Value
-				t.choice[b][e] = best.Arg
+				t.setCell(b, e, best.Value, best.Arg)
 			}
 		} else {
 			for b := 1; b < top; b++ {
-				best := reduceSplits(t.opt[b-1], costs, b-1, e, isSum)
+				best := prunedScanDense(t.opt[b-1], costs, cmin, b-1, e, isSum, useed[b], t.mono[b-1] >= e, &t.stats)
 				if best.Arg < 0 {
 					best = engine.MinPartial{Value: math.Inf(1), Arg: int32(b - 1)}
 				}
-				t.opt[b][e] = best.Value
-				t.choice[b][e] = best.Arg
+				t.setCell(b, e, best.Value, best.Arg)
 			}
 		}
+		lastScan = int(t.stats.CandidatesScanned - scannedBefore)
 	}
+}
+
+// prunedScanDense reduces split candidates i in [lo, hi) against a
+// materialized costs row, bit-identically to reduceSplits over the same
+// range. U is a certified upper bound on the level's minimum over the
+// full range (+Inf when unknown): candidates with min(costs[1..i+1]) > U
+// — a prefix, located by binary search on the exact envelope cmin — and,
+// when the prev row's monotone certificate covers the range (monoOK),
+// candidates with prev[i] > U — a suffix — cannot be the argmin under
+// strict-< tie-breaking and are skipped wholesale. Inside the window a
+// certified-monotone prev additionally stops the scan at the first
+// prev[i] >= the running incumbent.
+func prunedScanDense(prev, costs, cmin []float64, lo, hi int, isSum bool, U float64, monoOK bool, st *DPStats) engine.MinPartial {
+	if lo >= hi {
+		return engine.EmptyMin()
+	}
+	from, to := lo, hi
+	if !math.IsInf(U, 1) {
+		if monoOK {
+			to = engine.CutGT(prev, lo, hi, U)
+		}
+		// First s in [lo+1, to] with cmin[s] <= U; candidate i = s-1. The
+		// search is clamped to the prev-side cut: candidates past it are
+		// pruned anyway, and under the bounded lazy fill the envelope is
+		// only materialized that far.
+		from = engine.CutLE(cmin, lo+1, to+1, U) - 1
+	}
+	var best engine.MinPartial
+	i := from
+	if monoOK {
+		best = engine.EmptyMin()
+		if isSum {
+			for ; i < to; i++ {
+				p := prev[i]
+				if p >= best.Value {
+					break
+				}
+				if v := p + costs[i+1]; v < best.Value {
+					best = engine.MinPartial{Value: v, Arg: int32(i)}
+				}
+			}
+		} else {
+			for ; i < to; i++ {
+				v := prev[i]
+				if v >= best.Value {
+					break
+				}
+				if c := costs[i+1]; c > v {
+					v = c
+				}
+				if v < best.Value {
+					best = engine.MinPartial{Value: v, Arg: int32(i)}
+				}
+			}
+		}
+	} else {
+		best = reduceSplits(prev, costs, from, to, isSum)
+		i = to
+	}
+	st.CandidatesScanned += int64(i - from)
+	st.CandidatesPruned += int64((from - lo) + (hi - to) + (to - i))
+	return best
+}
+
+// prunedScanLazy is a fully lazy variant of prunedScanDense: no costs
+// row exists at all, so surviving candidates are priced by o.Cost on
+// demand and the low-i envelope cut is unavailable — the prev-side cut,
+// the incumbent stop, and per-candidate prev[i] > U skips (sound without
+// any monotonicity: the candidate value is >= prev[i] > U >= the
+// minimum) do the pruning. Each evaluation is counted in CostEvals.
+// OptimalError's level-major rolling DP uses it: with no per-end reuse
+// across levels there is nothing to materialize. runColumns instead
+// bounds a shared per-end fill with the same prev-side cuts and scans it
+// densely, so costs are priced once per end, not once per level.
+func prunedScanLazy(o Oracle, prev []float64, lo, hi, e int, isSum bool, U float64, monoOK bool, st *DPStats) engine.MinPartial {
+	if lo >= hi {
+		return engine.EmptyMin()
+	}
+	to := hi
+	if monoOK && !math.IsInf(U, 1) {
+		to = engine.CutGT(prev, lo, hi, U)
+	}
+	best := engine.EmptyMin()
+	var evals, skipped int64
+	i := lo
+	for ; i < to; i++ {
+		p := prev[i]
+		if monoOK && p >= best.Value {
+			break
+		}
+		if p > U {
+			skipped++
+			continue
+		}
+		c, _ := o.Cost(i+1, e)
+		evals++
+		v := p
+		if isSum {
+			v = p + c
+		} else if c > v {
+			v = c
+		}
+		if v < best.Value {
+			best = engine.MinPartial{Value: v, Arg: int32(i)}
+		}
+	}
+	st.CostEvals += evals
+	st.CandidatesScanned += evals
+	st.CandidatesPruned += skipped + int64(to-i) + int64(hi-to)
+	return best
 }
 
 // resume re-anchors the table on a new oracle over a same-or-larger
@@ -288,12 +634,69 @@ func (t *DPTable) Histogram(B int) (*Histogram, error) {
 	return FromBoundaries(t.oracle, t.Boundaries(B))
 }
 
-// OptimalError returns only the optimal B-bucket error (no backtracking,
-// O(n) memory per DP level). Used by tests and by error-normalization.
+// OptimalError returns only the optimal B-bucket error. For random-access
+// oracles it runs a two-row rolling DP — no backtracking table, O(n)
+// memory total — level-major over the budget, pricing buckets lazily
+// through the same pruned scan as RunDPPool; every cell is the same
+// min over the same candidates with the same float operations, so the
+// result is math.Float64bits-identical to DPTable.Cost(B).
+//
+// SweepOracle implementations fill costs per end, which is column-major
+// by nature: re-sweeping per level would cost O(B·n²) fills, so for
+// those the full table is built instead (O(B·n) memory, as Optimal).
+// Used by tests and by error-normalization.
 func OptimalError(o Oracle, B int) (float64, error) {
-	h, err := Optimal(o, B)
-	if err != nil {
-		return 0, err
+	n := o.N()
+	if n <= 0 {
+		return 0, fmt.Errorf("hist: empty domain")
 	}
-	return h.Cost, nil
+	if B <= 0 {
+		return 0, fmt.Errorf("hist: bucket budget %d, want >= 1", B)
+	}
+	if _, hasSweep := o.(SweepOracle); hasSweep || denseForced() {
+		t, err := RunDP(o, B)
+		if err != nil {
+			return 0, err
+		}
+		return t.Cost(B), nil
+	}
+	if B > n {
+		B = n
+	}
+	isSum := o.Combine() == Sum
+	var st DPStats
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for e := 0; e < n; e++ {
+		prev[e], _ = o.Cost(0, e)
+	}
+	for b := 1; b < B; b++ {
+		// Certify prev over the indices this level reads, [b-1, n):
+		// non-decreasing with a non-negative anchor, exactly the
+		// per-write check runColumns maintains.
+		monoOK := prev[b-1] >= 0
+		for i := b; monoOK && i < n; i++ {
+			monoOK = prev[i] >= prev[i-1]
+		}
+		lastArg := -1
+		for e := b; e < n; e++ {
+			u := math.Inf(1)
+			if lastArg >= b-1 && lastArg < e {
+				c, _ := o.Cost(lastArg+1, e)
+				if isSum {
+					u = prev[lastArg] + c
+				} else if u = prev[lastArg]; c > u {
+					u = c
+				}
+			}
+			best := prunedScanLazy(o, prev, b-1, e, e, isSum, u, monoOK, &st)
+			if best.Arg < 0 {
+				best = engine.MinPartial{Value: math.Inf(1), Arg: int32(b - 1)}
+			}
+			cur[e] = best.Value
+			lastArg = int(best.Arg)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1], nil
 }

@@ -1,0 +1,80 @@
+package hist
+
+// Benchmarks pinning the pruned DP's output-sensitivity claim: the same
+// (n, B, metric) build through the default pruned reduction vs. the dense
+// reference (DenseDPEnv forced). The data is structured — piecewise-
+// constant segments plus small noise — which is where monotonicity
+// pruning bites; both variants run on a serial pool so cost-evals/op is
+// deterministic and the timing isolates the split-scan work rather than
+// scheduling. scripts/bench_json.sh carries cost-evals/op into the
+// committed snapshot, and scripts/bench_gate.sh compares it run-to-run
+// (the count is exact, so any growth is a real algorithmic change).
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"probsyn/internal/engine"
+	"probsyn/internal/metric"
+	"probsyn/internal/pdata"
+)
+
+// benchSegmented builds a deterministic n-item source with 16 flat
+// segments of increasing level plus ±0.25 uniform noise: large inter-
+// segment cost steps (deep prev-side cuts) with enough jitter that no
+// bucket is exactly free.
+func benchSegmented(n int) *pdata.ValuePDF {
+	rng := rand.New(rand.NewSource(1009))
+	freqs := make([]float64, n)
+	seg := n / 16
+	for i := range freqs {
+		freqs[i] = float64(i/seg)*4 + rng.Float64()*0.5 - 0.25
+	}
+	return pdata.Deterministic(freqs)
+}
+
+func benchDP(b *testing.B, dense bool, n, B int, k metric.Kind) {
+	b.Helper()
+	o, err := NewOracle(benchSegmented(n), k, metric.Params{C: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if dense {
+		os.Setenv(DenseDPEnv, "1")
+		defer os.Unsetenv(DenseDPEnv)
+	}
+	pool := engine.New(engine.Options{Workers: 1})
+	var st DPStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := RunDPPool(o, B, pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = tab.Stats()
+	}
+	b.ReportMetric(float64(st.CostEvals), "cost-evals/op")
+	b.ReportMetric(float64(st.CandidatesScanned), "scanned/op")
+}
+
+func benchDPGrid(b *testing.B, dense bool) {
+	b.Helper()
+	for _, n := range []int{2048, 8192} {
+		for _, B := range []int{50, 200} {
+			for _, k := range []metric.Kind{metric.SSE, metric.SSRE, metric.SARE} {
+				b.Run(fmt.Sprintf("n=%d/B=%d/%s", n, B, k), func(b *testing.B) {
+					benchDP(b, dense, n, B, k)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkHistDPPruned: the default path. Compare each sub-benchmark
+// against its BenchmarkHistDPDense twin; the SSE n=8192/B=200 pair is
+// the headline (>= 3x in the committed snapshot).
+func BenchmarkHistDPPruned(b *testing.B) { benchDPGrid(b, false) }
+
+// BenchmarkHistDPDense: the dense reference, same grid.
+func BenchmarkHistDPDense(b *testing.B) { benchDPGrid(b, true) }

@@ -22,6 +22,14 @@ const (
 // this package satisfies this by construction — Cost only reads arrays
 // frozen at construction time. (SweepOracle.CostsForEnd may keep mutable
 // sweep state; it is always invoked from a single goroutine.)
+//
+// Cost must be non-negative, exactly, in floats — not just in exact
+// arithmetic. Every error metric is a non-negative expectation, but
+// differenced prefix sums can cancel below zero by ULPs, so
+// implementations clamp at 0 (every oracle in this package does). The
+// pruned DP depends on it: skipping a candidate because one side of
+// h(prev[i], cost) already reaches the incumbent is only sound when the
+// other side cannot be negative.
 type Oracle interface {
 	// N returns the domain size.
 	N() int

@@ -24,6 +24,8 @@ type ShardedResult struct {
 	// budget B+k-1 already lower-bounds OPT and
 	// Bound = max(0, A(B) - A(B+k-1)).
 	Bound float64
+	// Stats is the DP work summed over all shard tables (see DPStats).
+	Stats DPStats
 }
 
 // BuildSharded builds one histogram per shard concurrently (conc bounds
@@ -73,6 +75,10 @@ func BuildSharded(oracles []Oracle, bounds []int, B int, pool *engine.Pool, conc
 	if err != nil {
 		return nil, err
 	}
+	var stats DPStats
+	for _, t := range tables {
+		stats.Add(t.Stats())
+	}
 	alloc, err := shard.Allocate(B+k-1, caps, comb == Sum, func(s, b int) float64 { return tables[s].Cost(b) })
 	if err != nil {
 		return nil, err
@@ -102,5 +108,5 @@ func BuildSharded(oracles []Oracle, bounds []int, B int, pool *engine.Pool, conc
 	if bound < 0 {
 		bound = 0
 	}
-	return &ShardedResult{Merged: merged, Pieces: pieces, Bound: bound}, nil
+	return &ShardedResult{Merged: merged, Pieces: pieces, Bound: bound, Stats: stats}, nil
 }

@@ -115,7 +115,9 @@ func BuildLive(src Source, m Metric, Bmax int, opts ...BuildOption) (Maintainer,
 	if err != nil {
 		return nil, err
 	}
-	return &liveHistogram{lv: lv, pool: pool, weighted: cfg.weights != nil}, nil
+	f := &liveHistogram{lv: lv, pool: pool, weighted: cfg.weights != nil, stats: cfg.dpStats}
+	f.snapStats()
+	return f, nil
 }
 
 // liveHistogram adapts hist.LiveDP to the shared Maintainer surface.
@@ -124,6 +126,15 @@ type liveHistogram struct {
 	lv       *hist.LiveDP
 	pool     *engine.Pool
 	weighted bool
+	stats    *hist.DPStats
+}
+
+// snapStats refreshes the WithDPStats sink (if any) with the table's
+// cumulative work counters; called under mu after build and mutations.
+func (f *liveHistogram) snapStats() {
+	if f.stats != nil {
+		*f.stats = f.lv.Table().Stats()
+	}
 }
 
 func (f *liveHistogram) Bmax() int {
@@ -167,6 +178,7 @@ func (f *liveHistogram) Append(items []pdata.ItemPDF) error {
 		return err
 	}
 	defer release()
+	defer f.snapStats()
 	return f.lv.Append(items)
 }
 
@@ -178,6 +190,7 @@ func (f *liveHistogram) Update(i int, item pdata.ItemPDF) error {
 		return err
 	}
 	defer release()
+	defer f.snapStats()
 	return f.lv.Update(i, item)
 }
 

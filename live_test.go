@@ -11,10 +11,12 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 
 	"probsyn"
+	"probsyn/internal/hist"
 )
 
 func liveRandItem(rng *rand.Rand) probsyn.ItemPDF {
@@ -193,5 +195,60 @@ func TestBuildLiveValidation(t *testing.T) {
 	}
 	if syn.Terms() != 3 {
 		t.Fatalf("weighted live synopsis has %d terms, want 3", syn.Terms())
+	}
+}
+
+// TestLivePrunedByteIdenticalToDenseFresh guards the pruned DP's
+// resume-from-column interaction end to end: a live histogram frontier
+// maintained with pruning on (the default) must stay codec-byte-identical
+// to a fresh sweep over the final data built with the dense reference
+// path forced — stale back-pointer seeds and clamped monotone
+// certificates included. It also pins that WithDPStats keeps reporting
+// across mutations.
+func TestLivePrunedByteIdenticalToDenseFresh(t *testing.T) {
+	const B = 5
+	t.Setenv(hist.DenseDPEnv, "")
+	os.Unsetenv(hist.DenseDPEnv)
+	for _, m := range []probsyn.Metric{probsyn.SSE, probsyn.MARE} {
+		rng := rand.New(rand.NewSource(99))
+		vp := liveRandVP(rng, 17)
+		var st probsyn.DPStats
+		live, err := probsyn.BuildLive(vp, m, B, probsyn.WithParallelism(2), probsyn.WithDPStats(&st))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for step := 0; step < 6; step++ {
+			mutate(t, rng, live, vp)
+		}
+		if st.CandidatesScanned+st.CandidatesPruned == 0 {
+			t.Fatalf("%v: WithDPStats sink not refreshed by live mutations", m)
+		}
+		os.Setenv(hist.DenseDPEnv, "1")
+		fresh, err := probsyn.BuildSweep(vp, m, B)
+		os.Unsetenv(hist.DenseDPEnv)
+		if err != nil {
+			t.Fatalf("%v: dense fresh sweep: %v", m, err)
+		}
+		for b := 1; b <= live.Bmax(); b++ {
+			ls, err := live.Synopsis(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := fresh.Synopsis(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := probsyn.MarshalSynopsis(ls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := probsyn.MarshalSynopsis(fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(lb, fb) {
+				t.Fatalf("%v: budget %d: pruned live bytes differ from dense fresh sweep", m, b)
+			}
+		}
 	}
 }

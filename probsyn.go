@@ -87,6 +87,13 @@ type (
 	Params = metric.Params
 )
 
+// DPStats counts the work a histogram DP performed — split candidates
+// scanned vs. monotonicity-pruned, and bucket-cost evaluations. Collect
+// it with WithDPStats; see the hist package for field semantics. The
+// tables (and codec bytes) a build produces are bit-identical whether or
+// not pruning engages; the stats are schedule-dependent observability.
+type DPStats = hist.DPStats
+
 // The error objectives (§2.2-2.3; see the metric package for semantics).
 const (
 	SSE      = metric.SSE

@@ -25,6 +25,12 @@
 #                    contract (the serve hot path); any fresh run
 #                    allocating breaks it and fails the gate. Alloc
 #                    counts do not jitter.
+#   cost_evals_per_op — the histogram DP benchmarks run on a serial
+#                    pool, so the bucket-cost evaluation count is an
+#                    exact, machine-independent function of the code;
+#                    growth beyond 5% over the snapshot fails the gate
+#                    (the pruned DP quietly refilling dense is exactly
+#                    the regression wall-clock noise would hide).
 #   p99_ns         — loadbench tail latency; a > 4.0x blowup is
 #                    reported as a warning only (CI runner tails are
 #                    too noisy to hard-gate).
@@ -47,14 +53,16 @@ BASELINE=$1 FRESH=$2
 extract() {
   awk 'match($0, /"name": "[^"]+"/) {
          name = substr($0, RSTART + 9, RLENGTH - 10)
-         ns = "-"; allocs = "-"; p99 = "-"
+         ns = "-"; allocs = "-"; p99 = "-"; evals = "-"
          if (match($0, /"ns_per_op": [0-9.eE+-]+/))
            ns = substr($0, RSTART + 13, RLENGTH - 13)
          if (match($0, /"allocs_per_op": [0-9.eE+-]+/))
            allocs = substr($0, RSTART + 17, RLENGTH - 17)
          if (match($0, /"p99_ns": [0-9.eE+-]+/))
            p99 = substr($0, RSTART + 10, RLENGTH - 10)
-         if (ns != "-") print name, ns, allocs, p99
+         if (match($0, /"cost_evals_per_op": [0-9.eE+-]+/))
+           evals = substr($0, RSTART + 21, RLENGTH - 21)
+         if (ns != "-") print name, ns, allocs, p99, evals
        }' "$1"
 }
 
@@ -81,7 +89,7 @@ fi
 # the only exit, so a PR that slows five benchmarks sees all five in
 # one CI run instead of fixing them serially.
 awk -v floor=10000000 '
-  NR == FNR { base[$1] = $2; balloc[$1] = $3; bp99[$1] = $4; next }
+  NR == FNR { base[$1] = $2; balloc[$1] = $3; bp99[$1] = $4; bevals[$1] = $5; next }
   {
     fresh[$1] = $2
     if (!($1 in base)) { added++; next }
@@ -89,6 +97,13 @@ awk -v floor=10000000 '
     # Zero-allocation contract: never skipped, allocs are exact.
     if (balloc[$1] == "0" && $3 != "-" && $3 + 0 > 0) {
       printf("ALLOC REGRESSION %s: 0 -> %s allocs/op (hot path now allocates)\n", $1, $3)
+      bad++
+    }
+
+    # DP work counter: exact on the serial benchmark pool, so it is
+    # never skipped as noise; > 1.05x means the pruning got weaker.
+    if (bevals[$1] != "-" && bevals[$1] + 0 > 0 && $5 != "-" && $5 / bevals[$1] > 1.05) {
+      printf("COST-EVAL REGRESSION %s: %.0f -> %.0f cost evals/op (%.2fx)\n", $1, bevals[$1], $5, $5 / bevals[$1])
       bad++
     }
 

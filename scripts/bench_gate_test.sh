@@ -78,7 +78,29 @@ echo "$out" | grep -q 'no benchmark entries in baseline' || fail "empty baseline
 run 2 "$TMP/base.json" "$TMP/empty.json"
 echo "$out" | grep -q 'no benchmark entries in fresh run' || fail "empty fresh run not diagnosed: $out"
 
-# Case 5: added/removed benchmarks are listed in the summary but never
+# Case 5: the cost-evals counter gates exactly — a sub-floor DP bench
+# whose eval count grows > 5% fails even though its timing is noise,
+# and an unchanged count passes at any timing.
+cat > "$TMP/base_evals.json" <<'EOF2'
+[
+  {"name": "BenchmarkHistDPPruned/n=2048", "iters": 1, "ns_per_op": 5000000, "cost_evals_per_op": 100000}
+]
+EOF2
+cat > "$TMP/fresh_evals_bad.json" <<'EOF2'
+[
+  {"name": "BenchmarkHistDPPruned/n=2048", "iters": 1, "ns_per_op": 4000000, "cost_evals_per_op": 180000}
+]
+EOF2
+run 1 "$TMP/base_evals.json" "$TMP/fresh_evals_bad.json"
+echo "$out" | grep -q 'COST-EVAL REGRESSION' || fail "cost-eval regression not reported: $out"
+cat > "$TMP/fresh_evals_ok.json" <<'EOF2'
+[
+  {"name": "BenchmarkHistDPPruned/n=2048", "iters": 1, "ns_per_op": 9000000, "cost_evals_per_op": 100000}
+]
+EOF2
+run 0 "$TMP/base_evals.json" "$TMP/fresh_evals_ok.json"
+
+# Case 6: added/removed benchmarks are listed in the summary but never
 # gate.
 cat > "$TMP/fresh_new.json" <<'EOF'
 [

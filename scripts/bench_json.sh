@@ -13,7 +13,10 @@
 # carried as "bytes_per_op" and "allocs_per_op" — bench_gate.sh uses
 # allocs_per_op to pin zero-allocation hot paths at zero. The columns
 # are located by their unit labels, not fixed positions, so lines with
-# extra metrics (MB/s) still parse.
+# extra metrics (MB/s) still parse. The DP benchmarks report the exact
+# bucket-cost evaluation count via b.ReportMetric as "cost-evals/op";
+# it is carried as "cost_evals_per_op" so the gate can pin the pruned
+# DP's output-sensitivity, not just its wall clock.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -31,6 +34,7 @@ awk 'BEGIN { print "["; first = 1 }
        for (i = 4; i <= NF; i++) {
          if ($i == "B/op")      printf(", \"bytes_per_op\": %s", $(i-1))
          if ($i == "allocs/op") printf(", \"allocs_per_op\": %s", $(i-1))
+         if ($i == "cost-evals/op") printf(", \"cost_evals_per_op\": %s", $(i-1))
        }
        printf("}")
      }

@@ -176,6 +176,9 @@ func buildShardedHistogram(src Source, m Metric, B, k int, cfg *buildConfig, poo
 	if err != nil {
 		return nil, err
 	}
+	if cfg.dpStats != nil {
+		*cfg.dpStats = res.Stats
+	}
 	return rootSharded(res.Merged, res.Pieces, bounds, res.Bound), nil
 }
 

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 
 	"probsyn"
 	"probsyn/internal/engine"
+	"probsyn/internal/hist"
 	"probsyn/internal/ptest"
 )
 
@@ -228,5 +230,60 @@ func TestBuildShardedArgumentErrors(t *testing.T) {
 	}
 	if _, err := probsyn.BuildSharded(src, probsyn.SSE, 8, 32); err == nil {
 		t.Fatal("k > n histogram accepted")
+	}
+}
+
+// TestBuildShardedPrunedByteIdenticalToDense: a sharded histogram build
+// with the pruned DP (the default) must produce a merged synopsis and
+// per-shard pieces codec-byte-identical to the same build with the dense
+// reference path forced, and the WithDPStats sink must account the work
+// of all shards.
+func TestBuildShardedPrunedByteIdenticalToDense(t *testing.T) {
+	src := randomValuePDF(40, 29)
+	t.Setenv(hist.DenseDPEnv, "")
+	os.Unsetenv(hist.DenseDPEnv)
+	for _, m := range []probsyn.Metric{probsyn.SSE, probsyn.SARE, probsyn.MAE} {
+		var st probsyn.DPStats
+		pruned, err := probsyn.BuildSharded(src, m, 9, 3, probsyn.WithDPStats(&st))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if st.CandidatesScanned+st.CandidatesPruned == 0 {
+			t.Fatalf("%v: WithDPStats sink not filled by the sharded build", m)
+		}
+		os.Setenv(hist.DenseDPEnv, "1")
+		var dst probsyn.DPStats
+		dense, err := probsyn.BuildSharded(src, m, 9, 3, probsyn.WithDPStats(&dst))
+		os.Unsetenv(hist.DenseDPEnv)
+		if err != nil {
+			t.Fatalf("%v: dense: %v", m, err)
+		}
+		if dst.CandidatesPruned != 0 {
+			t.Fatalf("%v: dense reference pruned %d candidates", m, dst.CandidatesPruned)
+		}
+		pb, err := probsyn.MarshalSynopsis(pruned.Synopsis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := probsyn.MarshalSynopsis(dense.Synopsis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pb, db) {
+			t.Fatalf("%v: pruned merged synopsis bytes differ from dense", m)
+		}
+		for s := range pruned.Pieces {
+			pb, err := probsyn.MarshalSynopsis(pruned.Pieces[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := probsyn.MarshalSynopsis(dense.Pieces[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pb, db) {
+				t.Fatalf("%v: shard %d piece bytes differ between pruned and dense", m, s)
+			}
+		}
 	}
 }
